@@ -1,0 +1,72 @@
+// Command laperm-experiments regenerates the tables and figures of the
+// paper's evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	laperm-experiments -exp all            # every table and figure
+//	laperm-experiments -exp fig9b          # one experiment
+//	laperm-experiments -exp fig7 -scale medium -workloads bfs-citation,amr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"laperm/internal/exp"
+	"laperm/internal/kernels"
+)
+
+func main() {
+	expID := flag.String("exp", "all", "experiment id ("+strings.Join(exp.IDs(), ", ")+", or all)")
+	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
+	flag.Parse()
+
+	opts := exp.Options{}
+	switch *scale {
+	case "tiny":
+		opts.Scale = kernels.ScaleTiny
+	case "small":
+		opts.Scale = kernels.ScaleSmall
+	case "medium":
+		opts.Scale = kernels.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	if *expID == "all" {
+		start := time.Now()
+		if err := exp.RunAll(opts, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(all experiments in %.1fs)\n", time.Since(start).Seconds())
+		return
+	}
+	e, ok := exp.ByID(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", *expID, strings.Join(exp.IDs(), ", "))
+		os.Exit(2)
+	}
+
+	for _, e := range []exp.Experiment{e} {
+		start := time.Now()
+		fmt.Printf("=== %s: %s", e.ID, e.Title)
+		if e.Inferred {
+			fmt.Print(" [inferred from the paper's text]")
+		}
+		fmt.Println(" ===")
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,88 @@
+// Command laperm-export runs the full evaluation sweep and writes
+// machine-readable CSVs for downstream plotting: the workload x model x
+// scheduler matrix and the Figure 2 footprint analysis.
+//
+// Usage:
+//
+//	laperm-export -out results.csv -footprint footprint.csv
+//	laperm-export -scale tiny -workloads bfs-citation,amr -out -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"laperm/internal/exp"
+	"laperm/internal/kernels"
+)
+
+func openOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return os.Stdout, nil
+	}
+	return os.Create(path)
+}
+
+func main() {
+	out := flag.String("out", "results.csv", "matrix CSV destination ('-' for stdout, empty to skip)")
+	footprint := flag.String("footprint", "", "footprint CSV destination ('-' for stdout, empty to skip)")
+	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
+	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
+	flag.Parse()
+
+	opts := exp.Options{}
+	switch *scale {
+	case "tiny":
+		opts.Scale = kernels.ScaleTiny
+	case "small":
+		opts.Scale = kernels.ScaleSmall
+	case "medium":
+		opts.Scale = kernels.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	if *footprint != "" {
+		w, err := openOut(*footprint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := exp.WriteFootprintCSV(opts, w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if w != os.Stdout {
+			w.Close()
+			fmt.Printf("wrote %s\n", *footprint)
+		}
+	}
+
+	if *out != "" {
+		m, err := exp.RunMatrix(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w, err := openOut(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := exp.WriteMatrixCSV(m, w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if w != os.Stdout {
+			w.Close()
+			fmt.Printf("wrote %s\n", *out)
+		}
+	}
+}

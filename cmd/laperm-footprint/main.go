@@ -1,0 +1,50 @@
+// Command laperm-footprint runs the shared-footprint analysis of Section
+// III-A (Figure 2) on one workload or all of them, without any timing
+// simulation.
+//
+// Usage:
+//
+//	laperm-footprint                      # all workloads
+//	laperm-footprint -workload bfs-cage15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"laperm/internal/kernels"
+	"laperm/internal/metrics"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload name (default: all)")
+	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
+	flag.Parse()
+
+	var sc kernels.Scale
+	switch *scale {
+	case "tiny":
+		sc = kernels.ScaleTiny
+	case "small":
+		sc = kernels.ScaleSmall
+	case "medium":
+		sc = kernels.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	ws := kernels.All()
+	if *workload != "" {
+		w, ok := kernels.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		ws = []kernels.Workload{w}
+	}
+	for _, w := range ws {
+		fmt.Println(metrics.AnalyzeFootprint(w.Name, w.Build(sc)))
+	}
+}

@@ -1,0 +1,93 @@
+// Command laperm-validate runs the simulator's cross-scheduler sanity
+// invariants on every Table II workload and reports pass/fail — a quick
+// self-check for modified builds:
+//
+//  1. every scheduler and model executes the identical total work;
+//  2. runs are deterministic (two executions, identical statistics);
+//  3. SMX-Bind never places a child off its bound SMX cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"laperm/internal/config"
+	"laperm/internal/core"
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+func main() {
+	scale := flag.String("scale", "tiny", "workload scale (tiny, small)")
+	flag.Parse()
+
+	sc := kernels.ScaleTiny
+	if *scale == "small" {
+		sc = kernels.ScaleSmall
+	}
+	cfg := config.SmallTest()
+	failures := 0
+
+	for _, w := range kernels.All() {
+		var wantInsts int64 = -1
+		ok := true
+		for _, model := range exp.Models {
+			for _, sched := range exp.SchedulerNames {
+				opt := exp.Options{Scale: sc, Config: &cfg}
+				a, err := exp.RunOne(w, model, sched, opt)
+				if err != nil {
+					fmt.Printf("FAIL %-14s %s/%s: %v\n", w.Name, model, sched, err)
+					ok = false
+					continue
+				}
+				b, err := exp.RunOne(w, model, sched, opt)
+				if err != nil || a.Cycles != b.Cycles || a.ThreadInsts != b.ThreadInsts {
+					fmt.Printf("FAIL %-14s %s/%s: nondeterministic\n", w.Name, model, sched)
+					ok = false
+				}
+				if wantInsts == -1 {
+					wantInsts = a.ThreadInsts
+				} else if a.ThreadInsts != wantInsts {
+					fmt.Printf("FAIL %-14s %s/%s: %d thread-insts, others %d\n",
+						w.Name, model, sched, a.ThreadInsts, wantInsts)
+					ok = false
+				}
+			}
+		}
+
+		// Binding invariant under SMX-Bind.
+		violations := 0
+		sim := gpu.New(gpu.Options{
+			Config:    &cfg,
+			Scheduler: core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels),
+			Model:     gpu.DTBL,
+			TraceDispatch: func(ki *gpu.KernelInstance, tbIndex, smxID int, cycle uint64) {
+				if ki.Parent != nil && cfg.ClusterOf(smxID) != cfg.ClusterOf(ki.BoundSMX) {
+					violations++
+				}
+			},
+		})
+		sim.LaunchHost(w.Build(sc))
+		if _, err := sim.Run(); err != nil {
+			fmt.Printf("FAIL %-14s smx-bind trace run: %v\n", w.Name, err)
+			ok = false
+		}
+		if violations > 0 {
+			fmt.Printf("FAIL %-14s smx-bind: %d TBs off their bound cluster\n", w.Name, violations)
+			ok = false
+		}
+
+		if ok {
+			fmt.Printf("ok   %-14s\n", w.Name)
+		} else {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d workloads failed validation\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all invariants hold")
+}

@@ -1,0 +1,115 @@
+// Command lapermsim runs one benchmark workload on the simulated GPU under
+// a chosen dynamic-parallelism model and TB scheduler, printing the run's
+// statistics.
+//
+// Usage:
+//
+//	lapermsim -workload bfs-citation -model dtbl -sched adaptive-bind
+//	lapermsim -workload join-gaussian -model cdp -sched rr -scale medium -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"laperm/internal/config"
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "bfs-citation", "workload name ("+strings.Join(kernels.Names(), ", ")+")")
+	model := flag.String("model", "dtbl", "dynamic parallelism model (cdp, dtbl)")
+	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(exp.SchedulerNames, ", ")+")")
+	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
+	verbose := flag.Bool("v", false, "print per-SMX statistics")
+	timeline := flag.Uint64("timeline", 0, "sample the run every N cycles and print the timeline")
+	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
+	flag.Parse()
+
+	w, ok := kernels.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	var m gpu.Model
+	switch *model {
+	case "cdp":
+		m = gpu.CDP
+	case "dtbl":
+		m = gpu.DTBL
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q (cdp, dtbl)\n", *model)
+		os.Exit(2)
+	}
+	var sc kernels.Scale
+	switch *scale {
+	case "tiny":
+		sc = kernels.ScaleTiny
+	case "small":
+		sc = kernels.ScaleSmall
+	case "medium":
+		sc = kernels.ScaleMedium
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	cfg := config.KeplerK20c()
+	schedImpl, err := exp.NewScheduler(*sched, &cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var rec *trace.Recorder
+	opts := gpu.Options{
+		Config:      &cfg,
+		Scheduler:   schedImpl,
+		Model:       m,
+		SampleEvery: *timeline,
+	}
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		opts.TraceDispatch = rec.DispatchHook()
+	}
+	sim := gpu.New(opts)
+	sim.LaunchHost(w.Build(sc))
+	res, err := sim.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rec != nil {
+		rec.FinishRun(sim)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("  trace: %d events -> %s\n", rec.Len(), *traceOut)
+	}
+	fmt.Println(res)
+	fmt.Printf("  DRAM transactions: %d\n", res.DRAMTransactions)
+	if *verbose {
+		for i, st := range res.SMXStats {
+			fmt.Printf("  SMX%-2d: %8d thread-insts, %7d resident cycles, %6d issue cycles, %4d blocks\n",
+				i, st.ThreadInsts, st.ResidentCycles, st.IssueCycles, st.BlocksCompleted)
+		}
+	}
+	if *timeline > 0 {
+		fmt.Println("  cycle      ipc     l1      l2      resident-TBs  live-kernels")
+		for _, s := range res.Samples {
+			fmt.Printf("  %-10d %-7.1f %5.1f%%  %5.1f%%  %-13d %d\n",
+				s.Cycle, s.IPC, 100*s.L1, 100*s.L2, s.ResidentTBs, s.LiveKernels)
+		}
+	}
+}

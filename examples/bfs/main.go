@@ -1,0 +1,45 @@
+// BFS example: the paper's motivating workload. Runs one frontier-expansion
+// level of breadth-first search over each of the three graph inputs
+// (citation-like, graph500-like R-MAT, cage15-like banded) under every TB
+// scheduler, on both dynamic-parallelism models, and prints the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+func main() {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "input\tmodel\tscheduler\tcycles\tIPC\tL1\tL2\tspeedup vs rr")
+	for _, name := range []string{"bfs-citation", "bfs-graph5", "bfs-cage15"} {
+		w, ok := kernels.ByName(name)
+		if !ok {
+			log.Fatalf("workload %s not registered", name)
+		}
+		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+			var base float64
+			for _, sched := range exp.SchedulerNames {
+				res, err := exp.RunOne(w, model, sched, exp.Options{Scale: kernels.ScaleSmall})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if sched == "rr" {
+					base = res.IPC
+				}
+				fmt.Fprintf(tw, "%s\t%v\t%s\t%d\t%.1f\t%.1f%%\t%.1f%%\t%.3f\n",
+					w.Input, model, sched, res.Cycles, res.IPC,
+					100*res.L1.HitRate(), 100*res.L2.HitRate(), res.IPC/base)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

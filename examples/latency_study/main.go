@@ -1,0 +1,52 @@
+// latency_study dissects where a dynamic child's time goes — launch
+// latency, scheduler queueing, execution — under the baseline and under
+// LaPerm, and prints a sampled timeline of each run. The queueing component
+// (arrive -> first dispatch) is precisely what the LaPerm scheduler attacks
+// (Section III-B).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"laperm/internal/config"
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/metrics"
+)
+
+func main() {
+	w, ok := kernels.ByName("bfs-citation")
+	if !ok {
+		log.Fatal("bfs-citation not registered")
+	}
+	for _, schedName := range []string{"rr", "adaptive-bind"} {
+		cfg := config.KeplerK20c()
+		sched, err := exp.NewScheduler(schedName, &cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := gpu.New(gpu.Options{
+			Config:      &cfg,
+			Scheduler:   sched,
+			Model:       gpu.DTBL,
+			SampleEvery: 10_000,
+		})
+		sim.LaunchHost(w.Build(kernels.ScaleSmall))
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s ===\n", schedName)
+		fmt.Println(res)
+		fmt.Println(metrics.AnalyzeChildLatency(sim.Kernels()))
+		fmt.Println("timeline:")
+		for _, s := range res.Samples {
+			fmt.Printf("  cycle %-7d ipc %-6.1f L1 %5.1f%%  L2 %5.1f%%  resident TBs %-4d live kernels %d\n",
+				s.Cycle, s.IPC, 100*s.L1, 100*s.L2, s.ResidentTBs, s.LiveKernels)
+		}
+		fmt.Println()
+	}
+}

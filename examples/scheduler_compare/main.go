@@ -1,0 +1,45 @@
+// scheduler_compare runs one workload (default: relational join with
+// gaussian-skewed partitions, a load-imbalance stress) across the full
+// scheduler matrix and prints every statistic relevant to the LaPerm
+// trade-off: IPC, cache hit rates, child wait, SMX imbalance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+func main() {
+	workload := flag.String("workload", "join-gaussian", "workload to compare schedulers on")
+	flag.Parse()
+
+	w, ok := kernels.ByName(*workload)
+	if !ok {
+		log.Fatalf("unknown workload %q (known: %v)", *workload, kernels.Names())
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tscheduler\tcycles\tIPC\tL1\tL2\tchild wait\timbalance")
+	for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+		for _, sched := range exp.SchedulerNames {
+			res, err := exp.RunOne(w, model, sched, exp.Options{Scale: kernels.ScaleSmall})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%v\t%s\t%d\t%.1f\t%.1f%%\t%.1f%%\t%.0f\t%.3f\n",
+				model, sched, res.Cycles, res.IPC,
+				100*res.L1.HitRate(), 100*res.L2.HitRate(),
+				res.AvgChildWait, res.LoadImbalance)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module laperm
+
+go 1.22

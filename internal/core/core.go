@@ -1,0 +1,415 @@
+// Package core implements the paper's primary contribution: the thread-block
+// scheduling policies evaluated in LaPerm (Section IV).
+//
+//   - RoundRobin is the baseline SMX scheduler of today's GPUs
+//     (Section II-B): strictly FCFS over kernels, TBs fanned out to the
+//     next SMX with available resources.
+//   - TBPri (Section IV-A) prioritises dynamic TBs so children dispatch
+//     before the remaining parent TBs, exploiting temporal parent-child
+//     locality in the shared L2.
+//   - SMXBind (Section IV-B) additionally binds child TBs to the SMX that
+//     executed their direct parent, exposing parent-child and child-sibling
+//     locality to that SMX's private L1.
+//   - AdaptiveBind (Section IV-C) relaxes the binding with the three-stage
+//     dispatch flow of Figure 6 (own queues, then parent TBs, then a sticky
+//     backup SMX's queues) to recover SMX load balance.
+//
+// All four implement gpu.TBScheduler and are interchangeable in the engine.
+package core
+
+import (
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+)
+
+// fifo is a FCFS queue of kernel instances that lazily drops exhausted
+// entries (instances whose every TB has been dispatched). Dispatch order is
+// FCFS, so exhausted entries cluster at the front; trimming the head keeps
+// accesses amortised O(1), with an occasional full compaction for interior
+// garbage left by concurrent-kernel fill-in.
+type fifo struct {
+	items []*gpu.KernelInstance
+}
+
+func (f *fifo) push(k *gpu.KernelInstance) { f.items = append(f.items, k) }
+
+// trim pops exhausted instances off the front.
+func (f *fifo) trim() {
+	i := 0
+	for i < len(f.items) && f.items[i].Exhausted() {
+		i++
+	}
+	if i > 0 {
+		f.items = f.items[i:]
+	}
+}
+
+// compact removes exhausted instances everywhere.
+func (f *fifo) compact() {
+	keep := f.items[:0]
+	for _, k := range f.items {
+		if !k.Exhausted() {
+			keep = append(keep, k)
+		}
+	}
+	f.items = keep
+}
+
+// dispatchWindow bounds how many live kernels a dispatch slot may examine
+// for fill-in before giving up. Hardware kernel distributors consider a
+// small window of independent kernels (the KDU holds 32 entries total), not
+// the entire pending queue; the bound also keeps a full machine from
+// costing O(queue) every cycle.
+const dispatchWindow = 8
+
+// scan calls fn on up to dispatchWindow live instances in FCFS order until
+// fn returns true, reporting whether any call did.
+func (f *fifo) scan(fn func(*gpu.KernelInstance) bool) bool {
+	f.trim()
+	skipped, tried := 0, 0
+	for _, k := range f.items {
+		if k.Exhausted() {
+			skipped++
+			continue
+		}
+		if fn(k) {
+			return true
+		}
+		tried++
+		if tried >= dispatchWindow {
+			break
+		}
+	}
+	if skipped > 32 {
+		f.compact()
+	}
+	return false
+}
+
+// head returns the first live instance, or nil.
+func (f *fifo) head() *gpu.KernelInstance {
+	f.trim()
+	if len(f.items) == 0 {
+		return nil
+	}
+	return f.items[0]
+}
+
+func (f *fifo) empty() bool { return f.head() == nil }
+
+// scanSMX returns the first SMX after `cursor` (wrapping) with room for tb.
+func scanSMX(d gpu.Dispatcher, cursor int, tb *isa.TB) (int, bool) {
+	n := d.NumSMX()
+	for i := 1; i <= n; i++ {
+		s := (cursor + i) % n
+		if d.CanFit(s, tb) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// RoundRobin is the baseline TB scheduler: kernels in KDU order (FCFS), one
+// TB per dispatch slot in increasing TB-ID order, placed on the next SMX
+// with enough available resources.
+type RoundRobin struct {
+	q      fifo
+	cursor int
+}
+
+// NewRoundRobin returns the baseline scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{cursor: -1} }
+
+// Name implements gpu.TBScheduler.
+func (r *RoundRobin) Name() string { return "rr" }
+
+// Enqueue implements gpu.TBScheduler.
+func (r *RoundRobin) Enqueue(k *gpu.KernelInstance) { r.q.push(k) }
+
+// Select implements gpu.TBScheduler: the first FCFS kernel whose next TB
+// fits anywhere wins (later kernels fill leftover resources, which is the
+// concurrent-kernel-execution behaviour of Section II-B).
+func (r *RoundRobin) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	var pick *gpu.KernelInstance
+	var pickSMX int
+	r.q.scan(func(k *gpu.KernelInstance) bool {
+		if s, ok := scanSMX(d, r.cursor, k.PeekTB()); ok {
+			pick, pickSMX = k, s
+			return true
+		}
+		return false
+	})
+	if pick != nil {
+		r.cursor = pickSMX
+	}
+	return pick, pickSMX
+}
+
+// TBPri is the TB Prioritizing scheduler: L+1 global priority queues
+// (Figure 5(b)); dynamic TBs carry priority parent+1 (clamped to L) and
+// dispatch before lower-priority TBs. SMX placement remains round-robin.
+type TBPri struct {
+	levels []fifo // index = priority
+	cursor int
+}
+
+// NewTBPri returns a TB-Pri scheduler with priorities 0..maxLevels.
+func NewTBPri(maxLevels int) *TBPri {
+	return &TBPri{levels: make([]fifo, maxLevels+1), cursor: -1}
+}
+
+// Name implements gpu.TBScheduler.
+func (t *TBPri) Name() string { return "tb-pri" }
+
+// Enqueue implements gpu.TBScheduler.
+func (t *TBPri) Enqueue(k *gpu.KernelInstance) {
+	p := clampPriority(k.Priority, len(t.levels)-1)
+	t.levels[p].push(k)
+}
+
+// Select implements gpu.TBScheduler: highest priority level first, FCFS
+// within a level, round-robin SMX placement. A level whose TBs fit nowhere
+// falls through to the next level so free resources are never idled by a
+// too-large high-priority TB.
+func (t *TBPri) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	for p := len(t.levels) - 1; p >= 0; p-- {
+		var pick *gpu.KernelInstance
+		var pickSMX int
+		t.levels[p].scan(func(k *gpu.KernelInstance) bool {
+			if s, ok := scanSMX(d, t.cursor, k.PeekTB()); ok {
+				pick, pickSMX = k, s
+				return true
+			}
+			return false
+		})
+		if pick != nil {
+			t.cursor = pickSMX
+			return pick, pickSMX
+		}
+	}
+	return nil, 0
+}
+
+func clampPriority(p, max int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > max {
+		return max
+	}
+	return p
+}
+
+// bindQueues is the SMX-bound priority-queue bank of Figure 5(c), shared by
+// SMXBind and AdaptiveBind: priority queue 0 is global and reserved for
+// top-level (host-launched) kernels; queues 1..L are replicated per SMX
+// cluster and hold the dynamic TBs bound to that cluster. With one SMX per
+// cluster (the K20c arrangement) the banks are per-SMX; on architectures
+// whose L1 is shared by an SMX cluster, Section IV-B binds new TBs to the
+// whole cluster.
+type bindQueues struct {
+	global      fifo
+	perBank     [][]fifo // [cluster][priority-1]
+	clusterSize int
+}
+
+func newBindQueues(numSMX, smxsPerCluster, maxLevels int) *bindQueues {
+	if smxsPerCluster < 1 || numSMX%smxsPerCluster != 0 {
+		panic("core: SMXs per cluster must be positive and divide the SMX count")
+	}
+	b := &bindQueues{
+		perBank:     make([][]fifo, numSMX/smxsPerCluster),
+		clusterSize: smxsPerCluster,
+	}
+	for i := range b.perBank {
+		b.perBank[i] = make([]fifo, maxLevels)
+	}
+	return b
+}
+
+// bankOf returns the queue bank serving an SMX.
+func (b *bindQueues) bankOf(smx int) int { return smx / b.clusterSize }
+
+func (b *bindQueues) enqueue(k *gpu.KernelInstance) {
+	if k.Parent == nil || k.BoundSMX < 0 {
+		b.global.push(k)
+		return
+	}
+	bank := b.bankOf(k.BoundSMX)
+	p := clampPriority(k.Priority, len(b.perBank[bank]))
+	if p < 1 {
+		p = 1
+	}
+	b.perBank[bank][p-1].push(k)
+}
+
+// highest returns the highest-priority live instance in the bank serving
+// the SMX.
+func (b *bindQueues) highest(smx int) *gpu.KernelInstance {
+	return b.highestBank(b.bankOf(smx))
+}
+
+// highestBank returns the highest-priority live instance in a bank.
+func (b *bindQueues) highestBank(bank int) *gpu.KernelInstance {
+	qs := b.perBank[bank]
+	for p := len(qs) - 1; p >= 0; p-- {
+		if k := qs[p].head(); k != nil {
+			return k
+		}
+	}
+	return nil
+}
+
+// bankEmpty reports whether a bank has no live instances.
+func (b *bindQueues) bankEmpty(bank int) bool { return b.highestBank(bank) == nil }
+
+// numBanks returns the bank count.
+func (b *bindQueues) numBanks() int { return len(b.perBank) }
+
+// SMXBind is the Prioritized SMX Binding scheduler: child TBs dispatch only
+// to the SMX that executed their direct parent, reusing its L1; host-kernel
+// TBs fall back to round-robin when an SMX has no bound work.
+type SMXBind struct {
+	q      *bindQueues
+	cursor int
+}
+
+// NewSMXBind returns an SMX-Bind scheduler for numSMX SMXs with private L1s
+// and priorities 1..maxLevels.
+func NewSMXBind(numSMX, maxLevels int) *SMXBind {
+	return NewSMXBindClusters(numSMX, 1, maxLevels)
+}
+
+// NewSMXBindClusters returns an SMX-Bind scheduler for an architecture
+// whose L1 is shared by clusters of smxsPerCluster SMXs: child TBs bind to
+// their direct parent's cluster and may run on any of its SMXs.
+func NewSMXBindClusters(numSMX, smxsPerCluster, maxLevels int) *SMXBind {
+	return &SMXBind{q: newBindQueues(numSMX, smxsPerCluster, maxLevels)}
+}
+
+// Name implements gpu.TBScheduler.
+func (s *SMXBind) Name() string { return "smx-bind" }
+
+// Enqueue implements gpu.TBScheduler.
+func (s *SMXBind) Enqueue(k *gpu.KernelInstance) { s.q.enqueue(k) }
+
+// Select implements gpu.TBScheduler. One SMX is considered per dispatch
+// slot (round-robin): its own bound TBs first (highest priority), then a
+// host-kernel TB. A bound TB that does not currently fit waits for its SMX;
+// it is never redirected.
+func (s *SMXBind) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	cur := s.cursor
+	s.cursor = (s.cursor + 1) % d.NumSMX()
+	if k := s.q.highest(cur); k != nil {
+		if d.CanFit(cur, k.PeekTB()) {
+			return k, cur
+		}
+		return nil, 0
+	}
+	if k := s.q.global.head(); k != nil && d.CanFit(cur, k.PeekTB()) {
+		return k, cur
+	}
+	return nil, 0
+}
+
+// AdaptiveBind is the Adaptive Prioritized SMX Binding scheduler: SMX-Bind
+// plus the stage-3 backup mechanism of Figure 6. When an SMX's own queues
+// and the global parent queue are both empty, the SMX adopts another SMX's
+// queue bank as its backup and drains it (stealing the child TBs that were
+// bound elsewhere) until the backup is empty, keeping all SMXs busy at the
+// cost of some L1 reuse.
+type AdaptiveBind struct {
+	q      *bindQueues
+	cursor int
+	// backup[smx] is the recorded backup bank whose queues smx is
+	// draining, or -1.
+	backup []int
+	// FreeBackup disables the sticky backup recording of Figure 6: each
+	// stage-3 slot re-scans for any non-empty bank instead of draining
+	// the recorded one. The paper argues stickiness both preserves
+	// stolen-sibling locality and avoids reconfiguration overhead; this
+	// switch exists for the ablation that checks the claim.
+	FreeBackup bool
+	// Steals counts stage-3 dispatches, for the load-balance analysis.
+	Steals int64
+}
+
+// NewAdaptiveBind returns an Adaptive-Bind scheduler for numSMX SMXs with
+// private L1s and priorities 1..maxLevels.
+func NewAdaptiveBind(numSMX, maxLevels int) *AdaptiveBind {
+	return NewAdaptiveBindClusters(numSMX, 1, maxLevels)
+}
+
+// NewAdaptiveBindClusters is the cluster-aware variant of NewAdaptiveBind
+// (see NewSMXBindClusters).
+func NewAdaptiveBindClusters(numSMX, smxsPerCluster, maxLevels int) *AdaptiveBind {
+	backup := make([]int, numSMX)
+	for i := range backup {
+		backup[i] = -1
+	}
+	return &AdaptiveBind{q: newBindQueues(numSMX, smxsPerCluster, maxLevels), backup: backup}
+}
+
+// Name implements gpu.TBScheduler.
+func (a *AdaptiveBind) Name() string { return "adaptive-bind" }
+
+// Enqueue implements gpu.TBScheduler.
+func (a *AdaptiveBind) Enqueue(k *gpu.KernelInstance) { a.q.enqueue(k) }
+
+// Select implements gpu.TBScheduler, following Figure 6 stage by stage for
+// the SMX under consideration this slot.
+func (a *AdaptiveBind) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	cur := a.cursor
+	a.cursor = (a.cursor + 1) % d.NumSMX()
+
+	// Stage 1: highest-priority TB in the current SMX's own queues.
+	if k := a.q.highest(cur); k != nil {
+		if d.CanFit(cur, k.PeekTB()) {
+			return k, cur
+		}
+		return nil, 0
+	}
+	// Stage 2: parent TB from the global queue.
+	if k := a.q.global.head(); k != nil {
+		if d.CanFit(cur, k.PeekTB()) {
+			return k, cur
+		}
+		return nil, 0
+	}
+	// Stage 3: drain the recorded backup bank's queues; when exhausted,
+	// record the next non-empty bank as the new backup.
+	if !a.FreeBackup {
+		if b := a.backup[cur]; b >= 0 && !a.q.bankEmpty(b) {
+			return a.steal(d, cur, b)
+		}
+	}
+	a.backup[cur] = -1
+	myBank := a.q.bankOf(cur)
+	nb := a.q.numBanks()
+	for i := 1; i < nb; i++ {
+		b := (myBank + i) % nb
+		if !a.q.bankEmpty(b) {
+			a.backup[cur] = b
+			return a.steal(d, cur, b)
+		}
+	}
+	return nil, 0
+}
+
+// steal dispatches the highest-priority TB of backup bank b onto SMX cur.
+func (a *AdaptiveBind) steal(d gpu.Dispatcher, cur, b int) (*gpu.KernelInstance, int) {
+	k := a.q.highestBank(b)
+	if k == nil || !d.CanFit(cur, k.PeekTB()) {
+		return nil, 0
+	}
+	a.Steals++
+	return k, cur
+}
+
+// Compile-time interface checks.
+var (
+	_ gpu.TBScheduler = (*RoundRobin)(nil)
+	_ gpu.TBScheduler = (*TBPri)(nil)
+	_ gpu.TBScheduler = (*SMXBind)(nil)
+	_ gpu.TBScheduler = (*AdaptiveBind)(nil)
+)

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+)
+
+// Throttled wraps any TB scheduler with a contention-aware cap on resident
+// thread blocks per SMX, below the hardware occupancy limit. Section IV-F
+// discusses incorporating such contention-based TB control into LaPerm: the
+// small L1 (at most 48 KB on Kepler) "may result in not fitting enough
+// reusable data of the parent and child TBs", which a lower residency cap
+// mitigates at some parallelism cost.
+type Throttled struct {
+	// Inner is the wrapped policy.
+	Inner gpu.TBScheduler
+	// MaxTBsPerSMX caps the thread blocks concurrently resident on one
+	// SMX.
+	MaxTBsPerSMX int
+}
+
+// NewThrottled wraps inner with a residency cap. It panics on a
+// non-positive cap, which would deadlock dispatch.
+func NewThrottled(inner gpu.TBScheduler, maxTBsPerSMX int) *Throttled {
+	if maxTBsPerSMX <= 0 {
+		panic("core: Throttled requires a positive TB cap")
+	}
+	return &Throttled{Inner: inner, MaxTBsPerSMX: maxTBsPerSMX}
+}
+
+// Name implements gpu.TBScheduler.
+func (t *Throttled) Name() string { return t.Inner.Name() + "+throttle" }
+
+// Enqueue implements gpu.TBScheduler.
+func (t *Throttled) Enqueue(k *gpu.KernelInstance) { t.Inner.Enqueue(k) }
+
+// Select implements gpu.TBScheduler by delegating to the wrapped policy
+// through a dispatcher view on which saturated SMXs report no room.
+func (t *Throttled) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	return t.Inner.Select(&throttledDispatcher{Dispatcher: d, cap: t.MaxTBsPerSMX})
+}
+
+type throttledDispatcher struct {
+	gpu.Dispatcher
+	cap int
+}
+
+func (t *throttledDispatcher) CanFit(smxID int, tb *isa.TB) bool {
+	if t.Dispatcher.ResidentTBs(smxID) >= t.cap {
+		return false
+	}
+	return t.Dispatcher.CanFit(smxID, tb)
+}
+
+var _ gpu.TBScheduler = (*Throttled)(nil)

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"laperm/internal/metrics"
+)
+
+// WriteMatrixCSV emits the full evaluation matrix as machine-readable CSV:
+// one row per (workload, model, scheduler) cell with every statistic the
+// figures read, for downstream plotting.
+func WriteMatrixCSV(m *Matrix, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"workload", "app", "input", "model", "scheduler",
+		"cycles", "thread_insts", "ipc",
+		"l1_hit_rate", "l2_hit_rate", "dram_transactions",
+		"kernels", "dynamic_kernels", "blocks",
+		"avg_child_wait_cycles", "smx_load_imbalance",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+	for _, wk := range m.Workloads {
+		for _, model := range Models {
+			for _, sched := range SchedulerNames {
+				r := m.Get(wk.Name, model, sched)
+				row := []string{
+					wk.Name, wk.App, wk.Input, model.String(), sched,
+					strconv.FormatUint(r.Cycles, 10),
+					strconv.FormatInt(r.ThreadInsts, 10),
+					f(r.IPC),
+					f(r.L1.HitRate()), f(r.L2.HitRate()),
+					strconv.FormatInt(r.DRAMTransactions, 10),
+					strconv.Itoa(r.KernelCount), strconv.Itoa(r.DynamicKernelCount), strconv.Itoa(r.BlockCount),
+					f(r.AvgChildWait), f(r.LoadImbalance),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFootprintCSV emits the Figure 2 analysis as CSV.
+func WriteFootprintCSV(o Options, w io.Writer) error {
+	ws, err := o.workloads()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"workload", "app", "input", "parent_child", "child_sibling", "parent_parent", "direct_parents", "child_tbs"}); err != nil {
+		return err
+	}
+	for _, wk := range ws {
+		st := metrics.AnalyzeFootprint(wk.Name, wk.Build(o.Scale))
+		if err := cw.Write([]string{
+			wk.Name, wk.App, wk.Input,
+			fmt.Sprintf("%.6f", st.ParentChild),
+			fmt.Sprintf("%.6f", st.ChildSibling),
+			fmt.Sprintf("%.6f", st.ParentParent),
+			strconv.Itoa(st.DirectParents), strconv.Itoa(st.ChildTBs),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,109 @@
+// Package exp is the experiment harness: one runner per table and figure of
+// the paper's evaluation (Section V), producing the same rows and series the
+// paper reports, plus the inferred sensitivity studies listed in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"laperm/internal/config"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/smx"
+)
+
+// SchedulerNames lists the evaluated TB schedulers in the paper's order:
+// the baseline and the three LaPerm schemes.
+var SchedulerNames = []string{"rr", "tb-pri", "smx-bind", "adaptive-bind"}
+
+// Models lists the two dynamic-parallelism models evaluated.
+var Models = []gpu.Model{gpu.CDP, gpu.DTBL}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects workload size (default ScaleSmall).
+	Scale kernels.Scale
+	// Workloads restricts the workload set (default: all of Table II).
+	Workloads []string
+	// Config overrides the GPU configuration (default: Table I K20c).
+	Config *config.GPU
+	// WarpPolicy selects the warp scheduler (default GTO, per Table I).
+	WarpPolicy smx.Policy
+}
+
+func (o Options) config() *config.GPU {
+	if o.Config != nil {
+		return o.Config
+	}
+	g := config.KeplerK20c()
+	return &g
+}
+
+func (o Options) workloads() ([]kernels.Workload, error) {
+	if len(o.Workloads) == 0 {
+		return kernels.All(), nil
+	}
+	var ws []kernels.Workload
+	for _, name := range o.Workloads {
+		w, ok := kernels.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("exp: unknown workload %q (known: %v)", name, kernels.Names())
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the flag value ("fig7") and Title the heading printed above
+	// the output.
+	ID    string
+	Title string
+	// Inferred marks experiments reconstructed from the paper's text
+	// rather than from a visible figure (see DESIGN.md).
+	Inferred bool
+	// Run executes the experiment and writes its table to w.
+	Run func(o Options, w io.Writer) error
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: GPGPU-Sim configuration parameters", Run: runTable1},
+		{ID: "table2", Title: "Table II: benchmarks used in the experimental evaluation", Run: runTable2},
+		{ID: "fig2", Title: "Figure 2: shared footprint ratio for parent-child and child-sibling TBs", Run: runFig2},
+		{ID: "fig7", Title: "Figure 7: L2 cache hit rate", Run: runFig7},
+		{ID: "fig8", Title: "Figure 8: L1 cache hit rate", Run: runFig8},
+		{ID: "fig9a", Title: "Figure 9(a): IPC normalized to CDP with RR scheduler", Run: runFig9a},
+		{ID: "fig9b", Title: "Figure 9(b): IPC normalized to DTBL with RR scheduler", Run: runFig9b},
+		{ID: "latency", Title: "Launch-latency sensitivity of LaPerm (Section IV-D)", Inferred: true, Run: runLatency},
+		{ID: "balance", Title: "SMX load balance: SMX-Bind vs Adaptive-Bind (Section IV-C)", Inferred: true, Run: runBalance},
+		{ID: "levels", Title: "Priority-level ablation: clamping level L (Section IV-A)", Inferred: true, Run: runLevels},
+		{ID: "clusters", Title: "SMX-cluster ablation: L1 shared by 1/2/4 SMXs (Section IV-B)", Inferred: true, Run: runClusters},
+		{ID: "warp", Title: "Warp-scheduler orthogonality: LaPerm under GTO vs LRR (Section IV-F)", Inferred: true, Run: runWarp},
+		{ID: "throttle", Title: "Contention-aware TB residency caps on Adaptive-Bind (Section IV-F)", Inferred: true, Run: runThrottle},
+		{ID: "backup", Title: "Sticky-backup ablation for Adaptive-Bind stage 3 (Figure 6)", Inferred: true, Run: runBackup},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"laperm/internal/config"
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+	"laperm/internal/kernels"
+)
+
+// fastOptions runs experiments on a reduced machine with tiny workloads so
+// a test completes in milliseconds while contention is preserved.
+func fastOptions(workloads ...string) Options {
+	g := config.SmallTest()
+	g.NumSMX = 4
+	g.TBsPerSMX = 4
+	return Options{Scale: kernels.ScaleTiny, Config: &g, Workloads: workloads}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"table1", "table2", "fig2", "fig7", "fig8", "fig9a", "fig9b", "latency", "balance", "levels", "clusters", "warp", "throttle", "backup"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("experiment %d = %q, want %q", i, ids[i], id)
+		}
+	}
+	if _, ok := ByID("fig7"); !ok {
+		t.Error("ByID(fig7) not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestNewSchedulerNames(t *testing.T) {
+	cfg := config.SmallTest()
+	for _, name := range SchedulerNames {
+		s, err := NewScheduler(name, &cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("scheduler %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := NewScheduler("bogus", &cfg); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestOptionsWorkloadsValidation(t *testing.T) {
+	o := Options{Workloads: []string{"not-a-workload"}}
+	if _, err := o.workloads(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	o = Options{}
+	ws, err := o.workloads()
+	if err != nil || len(ws) != 16 {
+		t.Errorf("default workloads = %d, %v", len(ws), err)
+	}
+}
+
+func TestRunMatrixAndFigures(t *testing.T) {
+	o := fastOptions("bfs-citation", "join-uniform")
+	m, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Results) != 2*2*4 {
+		t.Fatalf("matrix cells = %d, want 16", len(m.Results))
+	}
+	var buf bytes.Buffer
+	if err := Fig7From(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig8From(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig9From(m, gpu.DTBL, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"bfs-citation", "join-uniform", "average", "cdp/rr", "dtbl/adaptive-bind"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q", want)
+		}
+	}
+	// RR baseline rows of Fig9 must be exactly 1.000.
+	if !strings.Contains(out, "1.000") {
+		t.Error("Fig9 missing normalised baseline")
+	}
+}
+
+func TestMatrixGetPanicsOnMissingCell(t *testing.T) {
+	m := &Matrix{Results: map[Cell]*gpu.Result{}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on missing cell did not panic")
+		}
+	}()
+	m.Get("x", gpu.CDP, "rr")
+}
+
+func TestTables12Render(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable1(Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"706 MHz", "13", "1536 KB", "Greedy-Then-Oldest"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := runTable2(Options{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Breadth-First Search", "Relational Join", "cage15"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestFig2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFig2(fastOptions("amr", "bht"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "average") {
+		t.Error("fig2 missing average row")
+	}
+}
+
+func TestSensitivityExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweeps are slow")
+	}
+	var buf bytes.Buffer
+	o := fastOptions("join-uniform")
+	if err := runBalance(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "join-uniform") {
+		t.Error("balance output missing workload")
+	}
+	buf.Reset()
+	o2 := fastOptions()
+	o2.Workloads = []string{"bfs-citation"}
+	if err := runLatency(o2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "20000") {
+		t.Error("latency output missing sweep point")
+	}
+	buf.Reset()
+	if err := runLevels(fastOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max level L") {
+		t.Error("levels output missing header")
+	}
+}
+
+func TestNestedWorkloadValidates(t *testing.T) {
+	k := NestedWorkload().Build(kernels.ScaleTiny)
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Depth-4 nesting: each TB launches two children for 4 generations,
+	// so each of the 16 tiny-scale roots yields 2+4+8+16 = 30 descendant
+	// grids.
+	grids := 0
+	k.Walk(func(parent, child *isa.Kernel) {
+		if parent != nil {
+			grids++
+		}
+	})
+	if want := 16 * 30; grids != want {
+		t.Errorf("descendant grids = %d, want %d", grids, want)
+	}
+}
+
+func TestRunOneErrorsOnUnknownScheduler(t *testing.T) {
+	w, _ := kernels.ByName("amr")
+	if _, err := RunOne(w, gpu.DTBL, "bogus", fastOptions()); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	o := fastOptions("amr", "bht")
+	m, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// header + 2 workloads x 2 models x 4 schedulers.
+	if want := 1 + 2*2*4; len(lines) != want {
+		t.Errorf("matrix CSV rows = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "workload,app,input,model,scheduler") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != strings.Count(lines[0], ",") {
+			t.Errorf("ragged CSV row: %q", l)
+		}
+	}
+
+	buf.Reset()
+	if err := WriteFootprintCSV(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	fp := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(fp) != 3 {
+		t.Errorf("footprint CSV rows = %d, want 3", len(fp))
+	}
+
+	bad := Options{Workloads: []string{"nope"}}
+	if err := WriteFootprintCSV(bad, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll executes every experiment")
+	}
+	o := fastOptions("amr", "join-uniform")
+	var buf bytes.Buffer
+	if err := RunAll(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+":") {
+			t.Errorf("RunAll output missing section %q", e.ID)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"laperm/internal/gpu"
+)
+
+// RunAll executes every experiment, sharing a single workload x model x
+// scheduler sweep across Figures 7, 8, 9(a) and 9(b) instead of re-running
+// the matrix per figure.
+func RunAll(o Options, w io.Writer) error {
+	section := func(e Experiment) {
+		fmt.Fprintf(w, "=== %s: %s", e.ID, e.Title)
+		if e.Inferred {
+			fmt.Fprint(w, " [inferred from the paper's text]")
+		}
+		fmt.Fprintln(w, " ===")
+	}
+	byID := make(map[string]Experiment)
+	for _, e := range All() {
+		byID[e.ID] = e
+	}
+
+	// Cheap, matrix-free experiments first.
+	for _, id := range []string{"table1", "table2", "fig2"} {
+		e := byID[id]
+		section(e)
+		if err := e.Run(o, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	// One shared sweep for the hit-rate and IPC figures.
+	m, err := RunMatrix(o)
+	if err != nil {
+		return err
+	}
+	section(byID["fig7"])
+	if err := Fig7From(m, w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	section(byID["fig8"])
+	if err := Fig8From(m, w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	section(byID["fig9a"])
+	if err := Fig9From(m, gpu.CDP, w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	section(byID["fig9b"])
+	if err := Fig9From(m, gpu.DTBL, w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	// Sensitivity studies and ablations.
+	for _, id := range []string{"latency", "balance", "levels", "clusters", "warp", "throttle", "backup"} {
+		e := byID[id]
+		section(e)
+		if err := e.Run(o, w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

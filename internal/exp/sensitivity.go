@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"laperm/internal/core"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/metrics"
+	"laperm/internal/smx"
+)
+
+// LatencySweepPoints are the child launch latencies (cycles) swept by the
+// launch-latency sensitivity study of Section IV-D.
+var LatencySweepPoints = []int{10, 100, 500, 1000, 2500, 5000, 10000, 20000}
+
+// runLatency reproduces the Section IV-D analysis: LaPerm's benefit over RR
+// as a function of child launch latency. The longer the launch path, the
+// wider the parent-child time gap and the less temporal locality survives.
+func runLatency(o Options, w io.Writer) error {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = []string{"bfs-citation", "sssp-cage15", "join-uniform"}
+	}
+	t := newTable(append([]string{"latency (cycles)"}, names...)...)
+	for _, lat := range LatencySweepPoints {
+		row := []string{fmt.Sprintf("%d", lat)}
+		for _, name := range names {
+			wk, ok := kernels.ByName(name)
+			if !ok {
+				return fmt.Errorf("exp: unknown workload %q", name)
+			}
+			cfg := o.config()
+			cfg.DTBLLaunchLatency = lat
+			opt := Options{Scale: o.Scale, Config: cfg}
+			base, err := RunOne(wk, gpu.DTBL, "rr", opt)
+			if err != nil {
+				return err
+			}
+			lap, err := RunOne(wk, gpu.DTBL, "adaptive-bind", opt)
+			if err != nil {
+				return err
+			}
+			row = append(row, norm(lap.IPC/base.IPC))
+		}
+		t.row(row...)
+	}
+	fmt.Fprintln(w, "Adaptive-Bind IPC normalized to RR (DTBL) vs child launch latency")
+	return t.write(w)
+}
+
+// runBalance contrasts SMX-Bind and Adaptive-Bind on workloads with
+// imbalanced launch patterns, reporting SMX busy-cycle imbalance, stage-3
+// steal share, and the resulting speedups (the Section IV-C trade-off).
+func runBalance(o Options, w io.Writer) error {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = []string{"amr", "join-gaussian", "regx-darpa", "bfs-graph5"}
+	}
+	t := newTable("workload", "imbalance rr", "imbalance smx-bind", "imbalance adaptive", "ipc smx-bind/rr", "ipc adaptive/rr")
+	for _, name := range names {
+		wk, ok := kernels.ByName(name)
+		if !ok {
+			return fmt.Errorf("exp: unknown workload %q", name)
+		}
+		rr, err := RunOne(wk, gpu.DTBL, "rr", o)
+		if err != nil {
+			return err
+		}
+		sb, err := RunOne(wk, gpu.DTBL, "smx-bind", o)
+		if err != nil {
+			return err
+		}
+		ab, err := RunOne(wk, gpu.DTBL, "adaptive-bind", o)
+		if err != nil {
+			return err
+		}
+		t.row(name,
+			norm(rr.LoadImbalance), norm(sb.LoadImbalance), norm(ab.LoadImbalance),
+			norm(sb.IPC/rr.IPC), norm(ab.IPC/rr.IPC))
+	}
+	fmt.Fprintln(w, "SMX busy-cycle imbalance (coefficient of variation) and IPC vs RR (DTBL)")
+	return t.write(w)
+}
+
+// runLevels sweeps the maximum priority level L on a deeply nested synthetic
+// workload: with L=1 all nesting levels collapse into one queue; larger L
+// lets deeper descendants pre-empt earlier generations.
+func runLevels(o Options, w io.Writer) error {
+	t := newTable("max level L", "ipc tb-pri/rr", "ipc adaptive/rr", "avg child wait (adaptive)")
+	for _, levels := range []int{1, 2, 4, 8} {
+		cfg := o.config()
+		cfg.MaxPriorityLevels = levels
+		opt := Options{Scale: o.Scale, Config: cfg}
+		wk := NestedWorkload()
+		rr, err := RunOne(wk, gpu.DTBL, "rr", opt)
+		if err != nil {
+			return err
+		}
+		tp, err := RunOne(wk, gpu.DTBL, "tb-pri", opt)
+		if err != nil {
+			return err
+		}
+		ab, err := RunOne(wk, gpu.DTBL, "adaptive-bind", opt)
+		if err != nil {
+			return err
+		}
+		t.row(fmt.Sprintf("%d", levels), norm(tp.IPC/rr.IPC), norm(ab.IPC/rr.IPC),
+			fmt.Sprintf("%.0f", ab.AvgChildWait))
+	}
+	fmt.Fprintln(w, "priority-level ablation on a 4-deep nested workload (DTBL)")
+	return t.write(w)
+}
+
+// runClusters is the SMX-cluster ablation (Section IV-B's clustered-L1
+// discussion): the same workloads on a 12-SMX machine whose L1 is private,
+// shared by pairs, or shared by quads of SMXs, comparing Adaptive-Bind's
+// gain over RR and the L1 hit rates.
+func runClusters(o Options, w io.Writer) error {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = []string{"bfs-citation", "bht", "amr"}
+	}
+	t := newTable("workload", "cluster size", "ipc adaptive/rr", "l1 rr", "l1 adaptive")
+	for _, name := range names {
+		wk, ok := kernels.ByName(name)
+		if !ok {
+			return fmt.Errorf("exp: unknown workload %q", name)
+		}
+		for _, size := range []int{1, 2, 4} {
+			cfg := o.config()
+			cfg.NumSMX = 12 // divisible by every swept cluster size
+			cfg.SMXsPerCluster = size
+			opt := Options{Scale: o.Scale, Config: cfg}
+			rr, err := RunOne(wk, gpu.DTBL, "rr", opt)
+			if err != nil {
+				return err
+			}
+			ab, err := RunOne(wk, gpu.DTBL, "adaptive-bind", opt)
+			if err != nil {
+				return err
+			}
+			t.row(name, fmt.Sprintf("%d", size), norm(ab.IPC/rr.IPC),
+				pct(rr.L1.HitRate()), pct(ab.L1.HitRate()))
+		}
+	}
+	fmt.Fprintln(w, "Adaptive-Bind with cluster-shared L1s (12 SMXs, DTBL)")
+	return t.write(w)
+}
+
+// runWarp checks the Section IV-F claim that LaPerm is orthogonal to the
+// warp scheduling discipline: Adaptive-Bind's gain over RR under
+// Greedy-Then-Oldest and under loose round-robin warp scheduling.
+func runWarp(o Options, w io.Writer) error {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = []string{"bfs-citation", "join-gaussian", "bht"}
+	}
+	t := newTable("workload", "ipc adaptive/rr (gto)", "ipc adaptive/rr (lrr)", "ipc adaptive/rr (two-level)")
+	for _, name := range names {
+		wk, ok := kernels.ByName(name)
+		if !ok {
+			return fmt.Errorf("exp: unknown workload %q", name)
+		}
+		row := []string{name}
+		for _, policy := range []smx.Policy{smx.GTO, smx.LRR, smx.TwoLevel} {
+			opt := Options{Scale: o.Scale, Config: o.Config, WarpPolicy: policy}
+			rr, err := RunOne(wk, gpu.DTBL, "rr", opt)
+			if err != nil {
+				return err
+			}
+			ab, err := RunOne(wk, gpu.DTBL, "adaptive-bind", opt)
+			if err != nil {
+				return err
+			}
+			row = append(row, norm(ab.IPC/rr.IPC))
+		}
+		t.row(row...)
+	}
+	fmt.Fprintln(w, "LaPerm speedup under different warp schedulers (DTBL)")
+	return t.write(w)
+}
+
+// runThrottle sweeps the contention-aware residency cap of Section IV-F on
+// Adaptive-Bind: fewer resident TBs per SMX leave more L1 per block (better
+// parent-child reuse) at a parallelism cost.
+func runThrottle(o Options, w io.Writer) error {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = []string{"bfs-citation", "bht"}
+	}
+	t := newTable("workload", "cap", "ipc vs uncapped", "l1 hit")
+	for _, name := range names {
+		wk, ok := kernels.ByName(name)
+		if !ok {
+			return fmt.Errorf("exp: unknown workload %q", name)
+		}
+		var base float64
+		for _, cap := range []int{16, 12, 8, 4} {
+			cfg := o.config()
+			inner, err := NewScheduler("adaptive-bind", cfg)
+			if err != nil {
+				return err
+			}
+			sched := core.NewThrottled(inner, cap)
+			sim := gpu.New(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL})
+			sim.LaunchHost(wk.Build(o.Scale))
+			res, err := sim.Run()
+			if err != nil {
+				return err
+			}
+			if cap == 16 {
+				base = res.IPC
+			}
+			t.row(name, fmt.Sprintf("%d", cap), norm(res.IPC/base), pct(res.L1.HitRate()))
+		}
+	}
+	fmt.Fprintln(w, "Adaptive-Bind with contention-aware TB residency caps (DTBL)")
+	return t.write(w)
+}
+
+// runBackup is the sticky-backup ablation: Figure 6 records one backup bank
+// per SMX and drains it; the ablation re-scans every slot. The paper argues
+// stickiness preserves stolen-sibling locality.
+func runBackup(o Options, w io.Writer) error {
+	names := o.Workloads
+	if len(names) == 0 {
+		names = []string{"bfs-citation", "join-gaussian", "amr"}
+	}
+	t := newTable("workload", "ipc sticky/rr", "ipc free/rr", "steals sticky", "steals free")
+	for _, name := range names {
+		wk, ok := kernels.ByName(name)
+		if !ok {
+			return fmt.Errorf("exp: unknown workload %q", name)
+		}
+		rr, err := RunOne(wk, gpu.DTBL, "rr", o)
+		if err != nil {
+			return err
+		}
+		run := func(free bool) (*gpu.Result, int64, error) {
+			cfg := o.config()
+			ab := core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels)
+			ab.FreeBackup = free
+			sim := gpu.New(gpu.Options{Config: cfg, Scheduler: ab, Model: gpu.DTBL})
+			sim.LaunchHost(wk.Build(o.Scale))
+			res, err := sim.Run()
+			return res, ab.Steals, err
+		}
+		sticky, sSteals, err := run(false)
+		if err != nil {
+			return err
+		}
+		free, fSteals, err := run(true)
+		if err != nil {
+			return err
+		}
+		t.row(name, norm(sticky.IPC/rr.IPC), norm(free.IPC/rr.IPC),
+			fmt.Sprintf("%d", sSteals), fmt.Sprintf("%d", fSteals))
+	}
+	fmt.Fprintln(w, "Adaptive-Bind stage-3 backup policy ablation (DTBL)")
+	return t.write(w)
+}
+
+var _ = metrics.Mean // metrics is used by figures.go in this package

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"fmt"
+
+	"laperm/internal/config"
+	"laperm/internal/core"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+// NewScheduler builds the named TB scheduler for the given configuration.
+func NewScheduler(name string, cfg *config.GPU) (gpu.TBScheduler, error) {
+	switch name {
+	case "rr":
+		return core.NewRoundRobin(), nil
+	case "tb-pri":
+		return core.NewTBPri(cfg.MaxPriorityLevels), nil
+	case "smx-bind":
+		return core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels), nil
+	case "adaptive-bind":
+		return core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels), nil
+	}
+	return nil, fmt.Errorf("exp: unknown scheduler %q (known: %v)", name, SchedulerNames)
+}
+
+// RunOne simulates one workload under one (model, scheduler) pair.
+func RunOne(w kernels.Workload, model gpu.Model, sched string, o Options) (*gpu.Result, error) {
+	cfg := o.config()
+	s, err := NewScheduler(sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim := gpu.New(gpu.Options{Config: cfg, Scheduler: s, Model: model, WarpPolicy: o.WarpPolicy})
+	sim.LaunchHost(w.Build(o.Scale))
+	res, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
+	}
+	return res, nil
+}
+
+// Cell identifies one run of the full evaluation matrix.
+type Cell struct {
+	Workload string
+	Model    gpu.Model
+	Sched    string
+}
+
+// Matrix holds the results of the full workload x model x scheduler sweep
+// that figures 7, 8, and 9 all read from.
+type Matrix struct {
+	Workloads []kernels.Workload
+	Results   map[Cell]*gpu.Result
+}
+
+// RunMatrix executes the full evaluation sweep for the given options.
+func RunMatrix(o Options) (*Matrix, error) {
+	ws, err := o.workloads()
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{Workloads: ws, Results: make(map[Cell]*gpu.Result)}
+	for _, w := range ws {
+		for _, model := range Models {
+			for _, sched := range SchedulerNames {
+				res, err := RunOne(w, model, sched, o)
+				if err != nil {
+					return nil, err
+				}
+				m.Results[Cell{w.Name, model, sched}] = res
+			}
+		}
+	}
+	return m, nil
+}
+
+// Get returns the result for one cell, panicking on a missing cell (a
+// programming error in a figure runner).
+func (m *Matrix) Get(workload string, model gpu.Model, sched string) *gpu.Result {
+	r, ok := m.Results[Cell{workload, model, sched}]
+	if !ok {
+		panic(fmt.Sprintf("exp: matrix missing cell %s/%v/%s", workload, model, sched))
+	}
+	return r
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// table renders aligned text tables for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, h := range t.header {
+		for range h {
+			sep[i] += "-"
+		}
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return tw.Flush()
+}
+
+func pct(x float64) string  { return fmt.Sprintf("%.1f%%", 100*x) }
+func norm(x float64) string { return fmt.Sprintf("%.3f", x) }

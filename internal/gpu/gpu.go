@@ -1,0 +1,423 @@
+// Package gpu is the top level of the simulator: the Kernel Management Unit
+// (KMU), the 32-entry Kernel Distributor Unit (KDU), the device-side launch
+// paths of both dynamic-parallelism models (CDP device kernels and DTBL
+// thread-block groups), the per-cycle engine loop, and the dispatcher
+// contract the TB schedulers in internal/core implement.
+//
+// Figure 1 of the paper is the blueprint: host kernels enter the KMU; the
+// KMU fills the KDU subject to its entry limit; the SMX scheduler (a
+// TBScheduler implementation) dispatches thread blocks from KDU kernels to
+// the SMXs; each SMX can issue new launches back to the KMU (CDP) or
+// coalesce TB groups straight onto the distributor (DTBL).
+package gpu
+
+import (
+	"fmt"
+
+	"laperm/internal/config"
+	"laperm/internal/isa"
+	"laperm/internal/mem"
+	"laperm/internal/smx"
+)
+
+// Model selects the dynamic-parallelism launch mechanism.
+type Model int
+
+const (
+	// CDP launches children as device kernels routed SMX -> KMU -> KDU,
+	// paying the full device-kernel launch latency and competing for the
+	// 32 KDU entries.
+	CDP Model = iota
+	// DTBL launches children as lightweight thread-block groups that are
+	// coalesced onto the kernel distributor and are always visible to
+	// the TB scheduler.
+	DTBL
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case CDP:
+		return "cdp"
+	case DTBL:
+		return "dtbl"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// KernelInstance is one running (or pending) grid: a host-launched kernel,
+// a CDP device kernel, or a DTBL thread-block group.
+type KernelInstance struct {
+	// ID is unique per simulation, in creation order.
+	ID int
+	// Prog is the grid's program.
+	Prog *isa.Kernel
+	// Priority is the LaPerm priority: 0 for host kernels, parent+1
+	// (clamped to the configured maximum level) for dynamic launches.
+	Priority int
+	// BoundSMX is the SMX that executed the direct parent thread block,
+	// or -1 for host-launched kernels. The SMX-binding policies dispatch
+	// the instance's TBs there.
+	BoundSMX int
+	// Parent is the launching kernel instance (nil for host kernels).
+	Parent *KernelInstance
+
+	// NextTB indexes the next thread block to dispatch; the instance is
+	// exhausted when NextTB reaches len(Prog.TBs).
+	NextTB int
+	// DoneTBs counts completed thread blocks.
+	DoneTBs int
+
+	// LaunchCycle is when the launch instruction executed (0 for host).
+	LaunchCycle uint64
+	// ArriveCycle is when the instance became visible to the KMU (CDP)
+	// or the TB scheduler (DTBL), i.e. LaunchCycle plus launch latency.
+	ArriveCycle uint64
+	// FirstDispatchCycle and CompleteCycle bracket execution (valid once
+	// dispatched / completed).
+	FirstDispatchCycle uint64
+	CompleteCycle      uint64
+
+	dispatchedAny bool
+	usesKDU       bool
+}
+
+// Exhausted reports whether every thread block has been dispatched.
+func (k *KernelInstance) Exhausted() bool { return k.NextTB >= len(k.Prog.TBs) }
+
+// PeekTB returns the next thread block to dispatch. It panics if the
+// instance is exhausted.
+func (k *KernelInstance) PeekTB() *isa.TB { return k.Prog.TBs[k.NextTB] }
+
+// Complete reports whether every thread block has finished execution.
+func (k *KernelInstance) Complete() bool { return k.DoneTBs >= len(k.Prog.TBs) }
+
+// Dispatcher is the engine view a TBScheduler uses to place thread blocks.
+type Dispatcher interface {
+	// NumSMX returns the SMX count.
+	NumSMX() int
+	// CanFit reports whether the thread block currently fits on the SMX.
+	CanFit(smxID int, tb *isa.TB) bool
+	// ResidentTBs returns the number of thread blocks currently resident
+	// on the SMX (for contention-aware policies).
+	ResidentTBs(smxID int) int
+	// Cycle returns the current cycle.
+	Cycle() uint64
+}
+
+// TBScheduler is the SMX scheduler of Figure 1: the policy that decides,
+// each dispatch slot, which kernel's next thread block runs on which SMX.
+// Implementations live in internal/core (RR, TB-Pri, SMX-Bind,
+// Adaptive-Bind).
+//
+// Contract: Enqueue is called once per kernel instance when it becomes
+// dispatchable. Select returns an instance with Exhausted() == false and an
+// SMX for which CanFit(smx, instance.PeekTB()) is true, or (nil, 0) when
+// nothing can dispatch this slot. The engine advances NextTB after a
+// successful Select; schedulers drop exhausted instances lazily.
+type TBScheduler interface {
+	Name() string
+	Enqueue(k *KernelInstance)
+	Select(d Dispatcher) (*KernelInstance, int)
+}
+
+// Options configures a Simulator.
+type Options struct {
+	Config    *config.GPU
+	Scheduler TBScheduler
+	Model     Model
+	// WarpPolicy defaults to GTO (Table I).
+	WarpPolicy smx.Policy
+	// MaxCycles bounds Run; 0 means the DefaultMaxCycles safety net.
+	MaxCycles uint64
+	// TraceDispatch, when non-nil, observes every thread-block dispatch:
+	// the kernel instance, the TB index within it, the target SMX, and
+	// the cycle. Tests and the footprint analyses use it.
+	TraceDispatch func(ki *KernelInstance, tbIndex, smxID int, cycle uint64)
+	// SampleEvery, when non-zero, records a timeline Sample (windowed
+	// IPC, cache hit rates, occupancy) every that many cycles.
+	SampleEvery uint64
+}
+
+// DefaultMaxCycles is the runaway-simulation guard used when Options leaves
+// MaxCycles at zero.
+const DefaultMaxCycles = 50_000_000
+
+// Simulator owns one end-to-end simulation.
+type Simulator struct {
+	cfg    *config.GPU
+	model  Model
+	sched  TBScheduler
+	memsys *mem.System
+	smxs   []*smx.SMX
+	seq    uint64
+
+	now uint64
+	// arrivals holds launched instances waiting out their launch
+	// latency. Launch latency is uniform per run, so ArriveCycle is
+	// nondecreasing and arrHead walks the slice without refiltering.
+	arrivals []*KernelInstance
+	arrHead  int
+	// kmuQueue holds instances at the KMU waiting for a KDU entry, one
+	// FIFO per priority level (highest level dispatches first), each
+	// with a head cursor.
+	kmuQueue  []kmuFIFO
+	kmuCount  int
+	kduUsed   int
+	live      int
+	kernels   []*KernelInstance // every instance ever created
+	nextID    int
+	maxCycles uint64
+	trace     func(ki *KernelInstance, tbIndex, smxID int, cycle uint64)
+
+	sampleEvery uint64
+	samples     []Sample
+	lastSample  sampleBase
+
+	hostPending []*isa.Kernel
+	ran         bool
+}
+
+// New builds a simulator. It panics on an invalid configuration or a nil
+// scheduler, since both are programming errors.
+func New(opts Options) *Simulator {
+	if opts.Config == nil {
+		panic("gpu: Options.Config is required")
+	}
+	if err := opts.Config.Validate(); err != nil {
+		panic(fmt.Sprintf("gpu: %v", err))
+	}
+	if opts.Scheduler == nil {
+		panic("gpu: Options.Scheduler is required")
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	s := &Simulator{
+		cfg:         opts.Config,
+		model:       opts.Model,
+		sched:       opts.Scheduler,
+		memsys:      mem.NewSystem(opts.Config),
+		maxCycles:   maxCycles,
+		trace:       opts.TraceDispatch,
+		sampleEvery: opts.SampleEvery,
+	}
+	s.kmuQueue = make([]kmuFIFO, opts.Config.MaxPriorityLevels+1)
+	s.smxs = make([]*smx.SMX, opts.Config.NumSMX)
+	for i := range s.smxs {
+		s.smxs[i] = smx.New(i, opts.Config, s.memsys, s, opts.WarpPolicy, &s.seq)
+	}
+	return s
+}
+
+// LaunchHost queues a host-side kernel launch, available to the KMU at
+// cycle 0. It must be called before Run.
+func (s *Simulator) LaunchHost(k *isa.Kernel) {
+	if s.ran {
+		panic("gpu: LaunchHost after Run")
+	}
+	if err := k.Validate(); err != nil {
+		panic(fmt.Sprintf("gpu: invalid kernel: %v", err))
+	}
+	s.hostPending = append(s.hostPending, k)
+}
+
+// NumSMX implements Dispatcher.
+func (s *Simulator) NumSMX() int { return len(s.smxs) }
+
+// CanFit implements Dispatcher.
+func (s *Simulator) CanFit(smxID int, tb *isa.TB) bool { return s.smxs[smxID].CanFit(tb) }
+
+// ResidentTBs implements Dispatcher.
+func (s *Simulator) ResidentTBs(smxID int) int { return s.smxs[smxID].ResidentBlocks() }
+
+// Cycle implements Dispatcher.
+func (s *Simulator) Cycle() uint64 { return s.now }
+
+// Launch implements smx.Events: a warp executed a device-side launch.
+func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint64) {
+	parent := b.Owner.(*KernelInstance)
+	prio := parent.Priority + 1
+	if prio > s.cfg.MaxPriorityLevels {
+		prio = s.cfg.MaxPriorityLevels
+	}
+	latency := s.cfg.CDPLaunchLatency
+	if s.model == DTBL {
+		latency = s.cfg.DTBLLaunchLatency
+	}
+	ki := &KernelInstance{
+		ID:          s.nextID,
+		Prog:        child,
+		Priority:    prio,
+		BoundSMX:    smxID,
+		Parent:      parent,
+		LaunchCycle: now,
+		ArriveCycle: now + uint64(latency),
+	}
+	s.nextID++
+	s.live++
+	s.kernels = append(s.kernels, ki)
+	s.arrivals = append(s.arrivals, ki)
+}
+
+// BlockDone implements smx.Events: a thread block retired.
+func (s *Simulator) BlockDone(smxID int, b *smx.Block, now uint64) {
+	ki := b.Owner.(*KernelInstance)
+	ki.DoneTBs++
+	if ki.Complete() {
+		ki.CompleteCycle = now
+		s.live--
+		if ki.usesKDU {
+			s.kduUsed--
+		}
+	}
+}
+
+// kmuFIFO is one priority level's KMU queue with an amortised head cursor.
+type kmuFIFO struct {
+	items []*KernelInstance
+	head  int
+}
+
+func (q *kmuFIFO) push(ki *KernelInstance) { q.items = append(q.items, ki) }
+
+func (q *kmuFIFO) pop() *KernelInstance {
+	if q.head >= len(q.items) {
+		return nil
+	}
+	ki := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return ki
+}
+
+func (q *kmuFIFO) empty() bool { return q.head >= len(q.items) }
+
+// deliverArrivals moves launches whose latency has elapsed to the KMU (CDP
+// and host kernels) or directly to the TB scheduler (DTBL TB groups, which
+// are coalesced onto the distributor and always visible).
+func (s *Simulator) deliverArrivals() {
+	for s.arrHead < len(s.arrivals) && s.arrivals[s.arrHead].ArriveCycle <= s.now {
+		ki := s.arrivals[s.arrHead]
+		s.arrivals[s.arrHead] = nil
+		s.arrHead++
+		if s.model == DTBL && ki.Parent != nil {
+			s.sched.Enqueue(ki)
+		} else {
+			p := ki.Priority
+			if p >= len(s.kmuQueue) {
+				p = len(s.kmuQueue) - 1
+			}
+			s.kmuQueue[p].push(ki)
+			s.kmuCount++
+		}
+	}
+	if s.arrHead == len(s.arrivals) {
+		s.arrivals = s.arrivals[:0]
+		s.arrHead = 0
+	}
+}
+
+// pendingArrivals reports launches still waiting out their latency.
+func (s *Simulator) pendingArrivals() int { return len(s.arrivals) - s.arrHead }
+
+// kmuDispatch fills free KDU entries from the KMU queues, highest priority
+// first (FCFS within a priority level), as the prioritized kernel launch
+// extension of Section IV-A requires. For the baseline RR scheduler every
+// kernel has the same effective behaviour as plain FCFS since host kernels
+// and CDP children arrive in launch order within a level.
+func (s *Simulator) kmuDispatch() {
+	for s.kduUsed < s.cfg.MaxConcurrentKernels && s.kmuCount > 0 {
+		var ki *KernelInstance
+		for p := len(s.kmuQueue) - 1; p >= 0; p-- {
+			if ki = s.kmuQueue[p].pop(); ki != nil {
+				break
+			}
+		}
+		if ki == nil {
+			panic("gpu: kmuCount out of sync with queues")
+		}
+		s.kmuCount--
+		ki.usesKDU = true
+		s.kduUsed++
+		s.sched.Enqueue(ki)
+	}
+}
+
+// tbDispatch runs the TB scheduler for this cycle's dispatch slots.
+func (s *Simulator) tbDispatch() {
+	for slot := 0; slot < s.cfg.TBDispatchPerCycle; slot++ {
+		ki, smxID := s.sched.Select(s)
+		if ki == nil {
+			return
+		}
+		if ki.Exhausted() {
+			panic(fmt.Sprintf("gpu: scheduler %s selected exhausted kernel %d", s.sched.Name(), ki.ID))
+		}
+		tb := ki.PeekTB()
+		if !s.smxs[smxID].CanFit(tb) {
+			panic(fmt.Sprintf("gpu: scheduler %s selected SMX %d without room", s.sched.Name(), smxID))
+		}
+		if s.trace != nil {
+			s.trace(ki, ki.NextTB, smxID, s.now)
+		}
+		ki.NextTB++
+		if !ki.dispatchedAny {
+			ki.dispatchedAny = true
+			ki.FirstDispatchCycle = s.now
+		}
+		s.smxs[smxID].AddBlock(tb, ki, s.now)
+	}
+}
+
+func (s *Simulator) done() bool {
+	return s.live == 0 && s.pendingArrivals() == 0 && s.kmuCount == 0
+}
+
+// Run executes the simulation to completion and returns the result. It
+// returns an error if the cycle guard is hit (a scheduling deadlock or a
+// runaway workload).
+func (s *Simulator) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("gpu: Run called twice")
+	}
+	s.ran = true
+	// Host kernels materialise as instances at cycle 0.
+	for _, k := range s.hostPending {
+		ki := &KernelInstance{ID: s.nextID, Prog: k, BoundSMX: -1}
+		s.nextID++
+		s.live++
+		s.kernels = append(s.kernels, ki)
+		s.arrivals = append(s.arrivals, ki)
+	}
+	if s.live == 0 {
+		return nil, fmt.Errorf("gpu: nothing to run; call LaunchHost first")
+	}
+
+	for ; s.now < s.maxCycles; s.now++ {
+		s.deliverArrivals()
+		s.kmuDispatch()
+		s.tbDispatch()
+		for _, x := range s.smxs {
+			x.Tick(s.now)
+		}
+		if s.sampleEvery > 0 && s.now > 0 && s.now%s.sampleEvery == 0 {
+			s.takeSample()
+		}
+		if s.done() {
+			s.now++
+			return s.result(), nil
+		}
+	}
+	return nil, fmt.Errorf("gpu: simulation exceeded %d cycles (%d kernels live, %d arrivals, %d at KMU)",
+		s.maxCycles, s.live, s.pendingArrivals(), s.kmuCount)
+}
+
+// Kernels returns every kernel instance created during the run, in creation
+// order, for post-run analysis.
+func (s *Simulator) Kernels() []*KernelInstance { return s.kernels }

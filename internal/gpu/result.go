@@ -1,0 +1,171 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"laperm/internal/mem"
+	"laperm/internal/smx"
+)
+
+// Sample is one point of a run's timeline, covering the window since the
+// previous sample.
+type Sample struct {
+	// Cycle is the sample position.
+	Cycle uint64
+	// IPC is the windowed thread-instructions per cycle.
+	IPC float64
+	// L1 and L2 are the windowed cache hit rates (0 when the window had
+	// no accesses).
+	L1, L2 float64
+	// ResidentTBs is the instantaneous thread-block count across SMXs.
+	ResidentTBs int
+	// LiveKernels is the instantaneous count of incomplete kernel
+	// instances.
+	LiveKernels int
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Scheduler and Model identify the run.
+	Scheduler string
+	Model     Model
+
+	// Cycles is the total simulated core cycles.
+	Cycles uint64
+	// ThreadInsts is the total per-thread instruction count issued.
+	ThreadInsts int64
+	// IPC is ThreadInsts / Cycles.
+	IPC float64
+
+	// L1 aggregates load statistics over all SMX L1 caches; L2 over all
+	// banks.
+	L1 mem.Stats
+	L2 mem.Stats
+	// DRAMTransactions counts 128-byte off-chip transfers.
+	DRAMTransactions int64
+
+	// SMXStats holds per-SMX execution statistics.
+	SMXStats []smx.Stats
+
+	// KernelCount and BlockCount size the run; DynamicKernelCount counts
+	// device-side launches.
+	KernelCount        int
+	BlockCount         int
+	DynamicKernelCount int
+
+	// AvgChildWait is the mean cycles between a dynamic launch executing
+	// and its first thread block dispatching — the parent-to-child time
+	// gap LaPerm tries to shrink (Section III-B).
+	AvgChildWait float64
+
+	// LoadImbalance is the coefficient of variation of per-SMX busy
+	// (resident) cycles: 0 for perfectly balanced SMXs.
+	LoadImbalance float64
+
+	// Samples is the run timeline when Options.SampleEvery was set.
+	Samples []Sample
+}
+
+// sampleBase holds the cumulative counters at the previous sample, so each
+// Sample reports windowed rates.
+type sampleBase struct {
+	cycle       uint64
+	threadInsts int64
+	l1, l2      mem.Stats
+}
+
+func (s *Simulator) takeSample() {
+	var insts int64
+	resident := 0
+	for _, x := range s.smxs {
+		insts += x.Stats().ThreadInsts
+		resident += x.ResidentBlocks()
+	}
+	l1, l2 := s.memsys.L1Total(), s.memsys.L2Total()
+	window := s.now - s.lastSample.cycle
+	smp := Sample{Cycle: s.now, ResidentTBs: resident, LiveKernels: s.live}
+	if window > 0 {
+		smp.IPC = float64(insts-s.lastSample.threadInsts) / float64(window)
+	}
+	if d := l1.Accesses - s.lastSample.l1.Accesses; d > 0 {
+		smp.L1 = float64(l1.Hits-s.lastSample.l1.Hits) / float64(d)
+	}
+	if d := l2.Accesses - s.lastSample.l2.Accesses; d > 0 {
+		smp.L2 = float64(l2.Hits-s.lastSample.l2.Hits) / float64(d)
+	}
+	s.samples = append(s.samples, smp)
+	s.lastSample = sampleBase{cycle: s.now, threadInsts: insts, l1: l1, l2: l2}
+}
+
+func (s *Simulator) result() *Result {
+	r := &Result{
+		Scheduler: s.sched.Name(),
+		Model:     s.model,
+		Cycles:    s.now,
+		L1:        s.memsys.L1Total(),
+		L2:        s.memsys.L2Total(),
+
+		DRAMTransactions: s.memsys.DRAMTransactions(),
+	}
+	r.SMXStats = make([]smx.Stats, len(s.smxs))
+	for i, x := range s.smxs {
+		r.SMXStats[i] = x.Stats()
+		r.ThreadInsts += x.Stats().ThreadInsts
+		r.BlockCount += x.Stats().BlocksCompleted
+	}
+	if r.Cycles > 0 {
+		r.IPC = float64(r.ThreadInsts) / float64(r.Cycles)
+	}
+	r.KernelCount = len(s.kernels)
+	var waitSum float64
+	var waitN int
+	for _, ki := range s.kernels {
+		if ki.Parent == nil {
+			continue
+		}
+		r.DynamicKernelCount++
+		if ki.dispatchedAny {
+			waitSum += float64(ki.FirstDispatchCycle - ki.LaunchCycle)
+			waitN++
+		}
+	}
+	if waitN > 0 {
+		r.AvgChildWait = waitSum / float64(waitN)
+	}
+	r.LoadImbalance = imbalance(r.SMXStats)
+	r.Samples = s.samples
+	return r
+}
+
+// imbalance returns the coefficient of variation of per-SMX resident
+// cycles.
+func imbalance(stats []smx.Stats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, st := range stats {
+		sum += float64(st.ResidentCycles)
+	}
+	mean := sum / float64(len(stats))
+	if mean == 0 {
+		return 0
+	}
+	var varSum float64
+	for _, st := range stats {
+		d := float64(st.ResidentCycles) - mean
+		varSum += d * d
+	}
+	return math.Sqrt(varSum/float64(len(stats))) / mean
+}
+
+// String summarises the result on a few lines.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"%s/%s: %d cycles, IPC %.2f, L1 %.1f%%, L2 %.1f%%, %d kernels (%d dynamic), %d TBs, child wait %.0f cyc, imbalance %.3f",
+		r.Scheduler, r.Model, r.Cycles, r.IPC,
+		100*r.L1.HitRate(), 100*r.L2.HitRate(),
+		r.KernelCount, r.DynamicKernelCount, r.BlockCount,
+		r.AvgChildWait, r.LoadImbalance)
+}

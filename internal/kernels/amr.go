@@ -1,0 +1,96 @@
+package kernels
+
+import "laperm/internal/isa"
+
+// buildAMR constructs one refinement step of adaptive mesh refinement over a
+// combustion-simulation-like grid: each parent TB owns an 8x8 cell tile,
+// evaluates a per-strip error estimate, and launches a child TB to refine
+// each high-error strip at 2x resolution. Refinement is spatially clustered
+// (the flame front), so launch counts are imbalanced across parents.
+//
+// Children re-read their strip of the parent's tile (parent-child locality)
+// but write fine cells to private regions, so sibling TBs share essentially
+// nothing — the behaviour Figure 2 reports for amr.
+func buildAMR(s Scale) *isa.Kernel {
+	const (
+		tileRows  = 8
+		tileCols  = 8
+		stripRows = 2 // each child refines a 2-row strip
+	)
+	parents := s.parentTBs()
+	tilesPerRow := 8
+	gridCols := tilesPerRow * tileCols
+	cellAddr := func(y, x int) uint64 { return RegionData + uint64(y*gridCols+x)*4 }
+
+	childID := 0
+	kb := isa.NewKernel("amr")
+	for p := 0; p < parents; p++ {
+		ty, tx := p/tilesPerRow, p%tilesPerRow
+		y0, x0 := ty*tileRows, tx*tileCols
+		b := isa.NewTB(TBThreads).Resources(26, 0)
+
+		// Each thread owns one cell of the tile (row-major within the
+		// tile) and reads it plus its east neighbour for the gradient.
+		own := func(tid int) (int, int) { return y0 + tid/tileCols, x0 + tid%tileCols }
+		b.Load(func(tid int) uint64 { y, x := own(tid); return cellAddr(y, x) })
+		b.Load(func(tid int) uint64 { y, x := own(tid); return cellAddr(y, x+1) })
+		b.Compute(16)
+		// South neighbour for the vertical gradient.
+		b.Load(func(tid int) uint64 { y, x := own(tid); return cellAddr(y+1, x) })
+		b.Compute(16)
+
+		// The flame front concentrates in the middle tiles: those
+		// refine most strips, the periphery refines few.
+		rate := 0.15
+		if p >= parents/3 && p < 2*parents/3 {
+			rate = 0.8
+		}
+		for strip := 0; strip < tileRows/stripRows; strip++ {
+			if hashFloat(uint64(p)*131+uint64(strip)) >= rate {
+				continue
+			}
+			b.Launch(strip*stripRows*tileCols, amrChild(cellAddr, y0+strip*stripRows, x0, stripRows, tileCols, childID))
+			childID++
+		}
+		b.Compute(12)
+		// Write the per-tile error summary.
+		b.Store(func(tid int) uint64 { return RegionFront + uint64(p*TBThreads+tid)*4 })
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// amrChild refines a rows x cols strip starting at (y0, x0) to 2x
+// resolution, writing the fine cells to a private output region.
+func amrChild(cellAddr func(y, x int) uint64, y0, x0, rows, cols, childID int) *isa.Kernel {
+	b := isa.NewTB(TBThreads).Resources(20, 0)
+
+	// Re-read the strip's coarse cells (rows*cols = 16 cells for the
+	// standard strip; one active lane per cell).
+	addrs := make([]uint64, TBThreads)
+	active := make([]bool, TBThreads)
+	for i := 0; i < rows*cols && i < TBThreads; i++ {
+		addrs[i] = cellAddr(y0+i/cols, x0+i%cols)
+		active[i] = true
+	}
+	b.LoadMasked(addrs, active)
+	b.Compute(20)
+	// Interpolation stencil: west neighbour of each coarse cell.
+	for i := 0; i < rows*cols && i < TBThreads; i++ {
+		x := x0 + i%cols - 1
+		if x < 0 {
+			x = 0
+		}
+		addrs[i] = cellAddr(y0+i/cols, x)
+	}
+	b.LoadMasked(addrs, active)
+	b.Compute(20)
+
+	// Write the 2x-refined cells: rows*cols*4 fine cells, one per
+	// thread, to this child's private region.
+	fineBase := RegionOut + uint64(childID)*uint64(rows*cols*4)*4
+	b.Store(func(tid int) uint64 { return fineBase + uint64(tid)*4 })
+	b.Compute(10)
+
+	return isa.NewKernel("amr-child").Add(b.Build()).Build()
+}

@@ -1,0 +1,44 @@
+package kernels
+
+import (
+	"laperm/internal/graph"
+	"laperm/internal/isa"
+)
+
+// buildBFS constructs one breadth-first-search frontier-expansion level, the
+// paper's canonical dynamic-parallelism pattern (Section III-A): each parent
+// thread owns a frontier vertex, expands low-degree vertices inline, and
+// designates a child TB to expand each high-degree vertex so the parent's
+// intra-thread locality over the adjacency list becomes inter-thread
+// locality of the child.
+func buildBFS(s Scale, g *graph.CSR) *isa.Kernel {
+	kb := isa.NewKernel("bfs")
+	for p := 0; p < s.parentTBs(); p++ {
+		c := chunk{g: g, base: p * TBThreads}
+		b := isa.NewTB(TBThreads).Resources(24, 0)
+
+		// Read the frontier slice and the row bounds of the owned
+		// vertices.
+		b.Load(func(tid int) uint64 { return frontAddr(c.vertex(tid)) })
+		c.loadRowPtrs(b)
+		b.Compute(8)
+		// Read the current level of each owned vertex.
+		b.Load(func(tid int) uint64 { return propAddr(c.vertex(tid)) })
+		b.Compute(6)
+		// Peek leading neighbours to classify the vertex.
+		c.peekNeighbors(b)
+		b.Compute(10)
+
+		// Delegate high-degree vertices to child TBs. The launching
+		// thread is the vertex's owner (the direct parent thread).
+		for _, v := range c.highDegreeVertices() {
+			b.Launch(v-c.base, expansionChild("bfs-child", g, v, expandOpts{frontierStore: true}))
+		}
+
+		// Expand the low-degree vertices inline.
+		c.inlineExpand(b, true)
+		b.Compute(8)
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}

@@ -1,0 +1,111 @@
+package kernels
+
+import "laperm/internal/isa"
+
+// buildBHT constructs the tree-build phase of a Barnes-Hut simulation over
+// random points: each parent TB inserts its 64-point chunk into the top of
+// the oct-tree; cells that turn out dense are delegated to child TBs that
+// re-read the subset of the parent's points falling into the cell and build
+// the cell's subtree.
+//
+// Siblings share the parent's point-chunk blocks and the top tree nodes, so
+// child-sibling locality is substantial; each child's subtree writes are
+// private.
+func buildBHT(s Scale) *isa.Kernel {
+	const (
+		pointBytes = 8  // x, y
+		nodeBytes  = 32 // tree node
+		topNodes   = 21 // root + level 1 (4) + level 2 (16)
+		denseCells = 4  // candidate dense cells examined per parent
+	)
+	parents := s.parentTBs()
+	pointAddr := func(i int) uint64 { return RegionData + uint64(i)*pointBytes }
+	nodeAddr := func(n int) uint64 { return RegionData2 + uint64(n)*nodeBytes }
+
+	childID := 0
+	kb := isa.NewKernel("bht")
+	for p := 0; p < parents; p++ {
+		base := p * TBThreads
+		b := isa.NewTB(TBThreads).Resources(26, 0)
+
+		// Load the chunk's coordinates.
+		b.Load(func(tid int) uint64 { return pointAddr(base + tid) })
+		b.Load(func(tid int) uint64 { return pointAddr(base+tid) + 4 })
+		b.Compute(12)
+
+		// Walk the shared top of the tree: the root, then the point's
+		// level-1 and level-2 cells (data-dependent but deterministic).
+		b.Load(func(tid int) uint64 { return nodeAddr(0) })
+		b.Load(func(tid int) uint64 {
+			return nodeAddr(1 + int(splitmix64(uint64(base+tid))%4))
+		})
+		b.Load(func(tid int) uint64 {
+			return nodeAddr(5 + int(splitmix64(uint64(base+tid)*3)%16))
+		})
+		b.Compute(16)
+
+		// Insert into the top tree (concurrent updates to shared
+		// nodes).
+		b.Store(func(tid int) uint64 {
+			return nodeAddr(5 + int(splitmix64(uint64(base+tid)*3)%16))
+		})
+		b.Compute(10)
+
+		// Dense cells get a child TB to build their subtree.
+		for cell := 0; cell < denseCells; cell++ {
+			if hashFloat(uint64(p)*977+uint64(cell)) >= 0.5 {
+				continue
+			}
+			b.Launch(cell*16, bhtChild(pointAddr, nodeAddr, base, cell, topNodes, childID))
+			childID++
+		}
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// bhtChild builds the subtree of one dense cell: it re-reads the parent's
+// point chunk (the subset in the cell, scattered over the chunk's blocks),
+// re-walks the shared top nodes, and writes new subtree nodes to a private
+// extension region.
+func bhtChild(pointAddr func(int) uint64, nodeAddr func(int) uint64, chunkBase, cell, topNodes, childID int) *isa.Kernel {
+	b := isa.NewTB(TBThreads).Resources(22, 0)
+
+	// Gather the cell's points from the parent chunk: roughly a quarter
+	// of the 64 points, scattered across the chunk.
+	addrs := make([]uint64, TBThreads)
+	active := make([]bool, TBThreads)
+	n := 0
+	for i := 0; i < TBThreads; i++ {
+		if int(splitmix64(uint64(chunkBase+i)*3)%16)%4 == cell%4 {
+			addrs[n] = pointAddr(chunkBase + i)
+			active[n] = true
+			n++
+		}
+	}
+	if n == 0 {
+		addrs[0] = pointAddr(chunkBase)
+		active[0] = true
+	}
+	b.LoadMasked(addrs, active)
+	b.Compute(14)
+
+	// Re-walk the shared top nodes (sibling-shared blocks).
+	b.Load(func(tid int) uint64 { return nodeAddr(0) })
+	b.Load(func(tid int) uint64 { return nodeAddr(1 + (cell % 4)) })
+	b.Load(func(tid int) uint64 { return nodeAddr(5 + int(splitmix64(uint64(cell))%16)) })
+	b.Compute(18)
+
+	// Write the subtree: 16 new nodes in a private extension area.
+	subBase := uint64(topNodes+childID*16) * 32
+	writeAddrs := make([]uint64, TBThreads)
+	writeActive := make([]bool, TBThreads)
+	for i := 0; i < 16; i++ {
+		writeAddrs[i] = RegionData2 + subBase + uint64(i)*32
+		writeActive[i] = true
+	}
+	b.StoreMasked(writeAddrs, writeActive)
+	b.Compute(10)
+
+	return isa.NewKernel("bht-child").Add(b.Build()).Build()
+}

@@ -1,0 +1,75 @@
+package kernels
+
+import (
+	"laperm/internal/graph"
+	"laperm/internal/isa"
+)
+
+// buildCLR constructs one conflict-resolution round of greedy graph
+// colouring: each parent thread checks its vertex's colour against the
+// leading neighbours; vertices with many neighbours (where the conflict
+// scan is expensive) are delegated to child TBs that re-scan the full
+// neighbourhood's colours and write a repaired colour.
+func buildCLR(s Scale, g *graph.CSR) *isa.Kernel {
+	kb := isa.NewKernel("clr")
+	for p := 0; p < s.parentTBs(); p++ {
+		c := chunk{g: g, base: p * TBThreads}
+		b := isa.NewTB(TBThreads).Resources(24, 0)
+
+		// Read own colour and row bounds.
+		b.Load(func(tid int) uint64 { return propAddr(c.vertex(tid)) })
+		c.loadRowPtrs(b)
+		b.Compute(8)
+		c.peekNeighbors(b)
+		b.Compute(6)
+		// Check the colours of the peeked neighbours for conflicts.
+		for step := 0; step < peekSteps; step++ {
+			addrs := make([]uint64, TBThreads)
+			active := make([]bool, TBThreads)
+			for tid := 0; tid < TBThreads; tid++ {
+				if step < c.degree(tid) {
+					v := c.vertex(tid)
+					w := int(g.Col[int(g.RowPtr[v])+step])
+					addrs[tid] = propAddr(w)
+					active[tid] = true
+				}
+			}
+			b.LoadMasked(addrs, active)
+		}
+		b.Compute(12)
+
+		for _, v := range c.highDegreeVertices() {
+			b.Launch(v-c.base, clrChild(g, v))
+		}
+
+		// Inline repair of low-degree conflicted vertices.
+		c.inlineExpand(b, false)
+		saddrs := make([]uint64, TBThreads)
+		sactive := make([]bool, TBThreads)
+		any := false
+		for tid := 0; tid < TBThreads; tid++ {
+			v := c.vertex(tid)
+			if d := c.degree(tid); d > 0 && d <= childDegThreshold && hashFloat(uint64(v)*7) < 0.3 {
+				saddrs[tid] = propAddr(v)
+				sactive[tid] = true
+				any = true
+			}
+		}
+		if any {
+			b.Compute(6)
+			b.StoreMasked(saddrs, sactive)
+		}
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// clrChild re-scans the full neighbourhood colours of vertex v and writes
+// the repaired colour of v (a single store to the vertex's own property).
+func clrChild(g *graph.CSR, v int) *isa.Kernel {
+	return expansionChild("clr-child", g, v, expandOpts{extra: func(b *isa.TBBuilder, edges []int) {
+		// First-fit over observed colours, then repair own colour.
+		b.Compute(14)
+		b.Store(func(tid int) uint64 { return propAddr(v) })
+	}})
+}

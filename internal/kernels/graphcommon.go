@@ -1,0 +1,236 @@
+package kernels
+
+import (
+	"laperm/internal/graph"
+	"laperm/internal/isa"
+)
+
+// The three graph inputs of Table II, generated synthetically with the
+// connectivity-locality properties the paper attributes to each (see
+// internal/graph): citation and cage15 concentrated, graph500 scattered.
+
+func graphVertices(s Scale) int { return s.parentTBs() * TBThreads }
+
+func inputCitation(s Scale) *graph.CSR { return graph.Citation(graphVertices(s), 5, 101) }
+
+func inputGraph5(s Scale) *graph.CSR {
+	logn := 9
+	for (1 << logn) < graphVertices(s) {
+		logn++
+	}
+	return graph.RMAT(logn, 5, 102)
+}
+
+func inputCage15(s Scale) *graph.CSR { return graph.Banded(graphVertices(s), 7, 24, 103) }
+
+// graphBuilder adapts a graph application builder and an input generator to
+// the Workload.Build signature.
+func graphBuilder(app func(Scale, *graph.CSR) *isa.Kernel, input func(Scale) *graph.CSR) func(Scale) *isa.Kernel {
+	return func(s Scale) *isa.Kernel { return app(s, input(s)) }
+}
+
+// Tunables shared by the graph applications.
+const (
+	// childDegThreshold is the out-degree above which the parent thread
+	// designates a child TB to expand the vertex instead of expanding it
+	// inline (the paper's motivating pattern, Section III-A).
+	childDegThreshold = 16
+	// peekSteps is how many leading neighbours the parent inspects while
+	// deciding; the child re-reads them, creating parent-child overlap.
+	peekSteps = 6
+)
+
+// chunk describes the 64 consecutive vertices one parent TB owns.
+type chunk struct {
+	g    *graph.CSR
+	base int
+}
+
+func (c chunk) vertex(tid int) int { return c.base + tid }
+
+func (c chunk) degree(tid int) int {
+	v := c.vertex(tid)
+	if v >= c.g.NumVertices() {
+		return 0
+	}
+	return c.g.Degree(v)
+}
+
+// rowPtrAddr returns the address of rowPtr[v].
+func rowPtrAddr(v int) uint64 { return RegionRowPtr + uint64(v)*4 }
+
+// colAddr returns the address of col[e] for global edge index e.
+func colAddr(e int) uint64 { return RegionCol + uint64(e)*4 }
+
+// propAddr returns the address of the per-vertex property of v.
+func propAddr(v int) uint64 { return RegionProp + uint64(v)*4 }
+
+// frontAddr returns the address of the output-frontier slot of v.
+func frontAddr(v int) uint64 { return RegionFront + uint64(v)*4 }
+
+// weightAddr returns the address of the weight of edge e.
+func weightAddr(e int) uint64 { return RegionWeight + uint64(e)*4 }
+
+// loadRowPtrs appends the parent's loads of rowPtr[v] and rowPtr[v+1].
+func (c chunk) loadRowPtrs(b *isa.TBBuilder) {
+	b.Load(func(tid int) uint64 { return rowPtrAddr(c.vertex(tid)) })
+	b.Load(func(tid int) uint64 { return rowPtrAddr(c.vertex(tid) + 1) })
+}
+
+// peekNeighbors appends masked loads of the first peekSteps adjacency
+// entries of every vertex in the chunk, followed by a gather of those
+// neighbours' properties: the parent inspects whether leading neighbours
+// are unvisited before deciding to delegate, touching exactly the blocks a
+// delegated child will re-read.
+func (c chunk) peekNeighbors(b *isa.TBBuilder) {
+	for step := 0; step < peekSteps; step++ {
+		addrs := make([]uint64, TBThreads)
+		gaddrs := make([]uint64, TBThreads)
+		active := make([]bool, TBThreads)
+		for tid := 0; tid < TBThreads; tid++ {
+			if step < c.degree(tid) {
+				v := c.vertex(tid)
+				w := int(c.g.Col[int(c.g.RowPtr[v])+step])
+				addrs[tid] = colAddr(int(c.g.RowPtr[v]) + step)
+				gaddrs[tid] = propAddr(w)
+				active[tid] = true
+			}
+		}
+		b.LoadMasked(addrs, active)
+		b.Compute(4)
+		b.LoadMasked(gaddrs, active)
+	}
+}
+
+// inlineExpand appends the parent's inline expansion of the low-degree
+// vertices (degree <= childDegThreshold): the remaining adjacency entries
+// and a gather of the neighbour property with a conditional frontier store.
+func (c chunk) inlineExpand(b *isa.TBBuilder, withProperty bool) {
+	maxDeg := 0
+	for tid := 0; tid < TBThreads; tid++ {
+		if d := c.degree(tid); d <= childDegThreshold && d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for step := peekSteps; step < maxDeg; step++ {
+		addrs := make([]uint64, TBThreads)
+		active := make([]bool, TBThreads)
+		for tid := 0; tid < TBThreads; tid++ {
+			if d := c.degree(tid); d <= childDegThreshold && step < d {
+				v := c.vertex(tid)
+				addrs[tid] = colAddr(int(c.g.RowPtr[v]) + step)
+				active[tid] = true
+			}
+		}
+		b.LoadMasked(addrs, active)
+	}
+	if !withProperty {
+		return
+	}
+	// Gather the property of the first neighbours and update the
+	// frontier for the inline-expanded vertices.
+	addrs := make([]uint64, TBThreads)
+	active := make([]bool, TBThreads)
+	stores := make([]uint64, TBThreads)
+	for tid := 0; tid < TBThreads; tid++ {
+		d := c.degree(tid)
+		if d == 0 || d > childDegThreshold {
+			continue
+		}
+		v := c.vertex(tid)
+		w := int(c.g.Col[c.g.RowPtr[v]])
+		addrs[tid] = propAddr(w)
+		stores[tid] = frontAddr(w)
+		active[tid] = true
+	}
+	b.LoadMasked(addrs, active)
+	b.Compute(6)
+	b.StoreMasked(stores, active)
+}
+
+// highDegreeVertices returns the chunk's vertices whose expansion is
+// delegated to child TBs, in vertex order.
+func (c chunk) highDegreeVertices() []int {
+	var out []int
+	for tid := 0; tid < TBThreads; tid++ {
+		if c.degree(tid) > childDegThreshold {
+			out = append(out, c.vertex(tid))
+		}
+	}
+	return out
+}
+
+// expandOpts customises expansionChild per application.
+type expandOpts struct {
+	// extra, when non-nil, appends application-specific instructions for
+	// the child TB's edge range.
+	extra func(b *isa.TBBuilder, edges []int)
+	// frontierStore controls whether discovered neighbours are marked in
+	// the output frontier (true for traversal apps, false for colouring).
+	frontierStore bool
+}
+
+// expansionChild builds the child grid that expands vertex v: one TB per 64
+// edges. Each child thread loads its adjacency entry and gathers the
+// neighbour property; options add per-app edge work and frontier updates.
+func expansionChild(name string, g *graph.CSR, v int, o expandOpts) *isa.Kernel {
+	deg := g.Degree(v)
+	row := int(g.RowPtr[v])
+	kb := isa.NewKernel(name)
+	for off := 0; off < deg; off += TBThreads {
+		n := deg - off
+		if n > TBThreads {
+			n = TBThreads
+		}
+		b := isa.NewTB(TBThreads).Resources(20, 0)
+		// Re-read the row bounds the parent read (parent-child
+		// overlap in the rowPtr block).
+		b.Load(func(tid int) uint64 { return rowPtrAddr(v) })
+		b.Compute(4)
+
+		edges := make([]int, n)
+		addrs := make([]uint64, TBThreads)
+		active := make([]bool, TBThreads)
+		for t := 0; t < n; t++ {
+			e := row + off + t
+			edges[t] = e
+			addrs[t] = colAddr(e)
+			active[t] = true
+		}
+		b.LoadMasked(addrs, active)
+		b.Compute(4)
+
+		// Gather the neighbour property (level/dist/colour).
+		gaddrs := make([]uint64, TBThreads)
+		for t := 0; t < n; t++ {
+			gaddrs[t] = propAddr(int(g.Col[edges[t]]))
+		}
+		b.LoadMasked(gaddrs, active)
+		b.Compute(4)
+
+		if o.extra != nil {
+			o.extra(b, edges)
+		}
+
+		if o.frontierStore {
+			// Conditionally mark discovered neighbours in the
+			// frontier.
+			saddrs := make([]uint64, TBThreads)
+			sactive := make([]bool, TBThreads)
+			any := false
+			for t := 0; t < n; t++ {
+				w := int(g.Col[edges[t]])
+				if hashFloat(uint64(w)*31+uint64(v)) < 0.6 {
+					saddrs[t] = frontAddr(w)
+					sactive[t] = true
+					any = true
+				}
+			}
+			if any {
+				b.StoreMasked(saddrs, sactive)
+			}
+		}
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}

@@ -1,0 +1,116 @@
+package kernels
+
+import (
+	"math"
+
+	"laperm/internal/isa"
+)
+
+// buildJOIN constructs a partitioned hash join: each parent TB reads a chunk
+// of relation R, hashes it into per-parent staging buckets (stores the
+// parent generates and the children consume — the producer/consumer pattern
+// behind LaPerm's temporal-locality argument), and launches one child TB per
+// bucket to probe the matching partition of relation S.
+//
+// Each child works entirely in its own staging bucket, S partition, and
+// output region, so sibling TBs share essentially nothing (the lowest
+// child-sibling footprint in Figure 2). The gaussian input skews partition
+// sizes, making child durations uneven.
+func buildJOIN(s Scale, gaussian bool) *isa.Kernel {
+	const (
+		tupleBytes  = 16
+		buckets     = 4   // staging buckets per parent TB
+		stageBytes  = 512 // staging area per bucket (2 tuples/thread max)
+		sPartTuples = 48  // mean S-partition tuples probed per child
+	)
+	parents := s.parentTBs()
+	rAddr := func(i int) uint64 { return RegionData + uint64(i)*tupleBytes }
+	stageAddr := func(p, bkt int) uint64 {
+		return RegionStage + uint64(p*buckets+bkt)*stageBytes
+	}
+
+	// Partition sizes: uniform, or gaussian-skewed around the mean.
+	partSize := func(p, bkt int) int {
+		if !gaussian {
+			return sPartTuples
+		}
+		z := hashFloat(uint64(p*buckets+bkt)*641)*2 - 1
+		n := int(float64(sPartTuples) * math.Exp(1.2*z))
+		if n < 8 {
+			n = 8
+		}
+		if n > 160 {
+			n = 160
+		}
+		return n
+	}
+	// S partitions are laid out back to back; compute prefix offsets.
+	sOffsets := make([]uint64, parents*buckets+1)
+	for i := 0; i < parents*buckets; i++ {
+		sOffsets[i+1] = sOffsets[i] + uint64(partSize(i/buckets, i%buckets)*tupleBytes)
+	}
+	sAddr := func(part int) uint64 { return RegionData2 + sOffsets[part] }
+
+	kb := isa.NewKernel("join")
+	for p := 0; p < parents; p++ {
+		base := p * TBThreads
+		b := isa.NewTB(TBThreads).Resources(26, 0)
+
+		// Read the R chunk: key and payload words of each tuple.
+		b.Load(func(tid int) uint64 { return rAddr(base + tid) })
+		b.Load(func(tid int) uint64 { return rAddr(base+tid) + 8 })
+		b.Compute(12)
+
+		// Stage each tuple into its hash bucket (parent-produced data
+		// the children will consume).
+		b.Store(func(tid int) uint64 {
+			bkt := int(splitmix64(uint64(base+tid)) % buckets)
+			slot := tid % (int(stageBytes) / tupleBytes)
+			return stageAddr(p, bkt) + uint64(slot)*tupleBytes
+		})
+		b.Compute(10)
+
+		for bkt := 0; bkt < buckets; bkt++ {
+			part := p*buckets + bkt
+			b.Launch(bkt*16, joinChild(stageAddr(p, bkt), sAddr(part), partSize(p, bkt), part))
+		}
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// joinChild probes one S partition with one staged bucket: load the staged
+// R tuples the parent wrote, stream the S partition, and write matches to a
+// private output run.
+func joinChild(stage uint64, sBase uint64, sTuples, part int) *isa.Kernel {
+	const tupleBytes = 16
+	b := isa.NewTB(TBThreads).Resources(24, 0)
+
+	// Consume the parent-staged bucket (temporal parent-child reuse).
+	b.Load(func(tid int) uint64 { return stage + uint64(tid%32)*tupleBytes })
+	b.Compute(10)
+
+	// Stream the S partition: each round covers 64 tuples' keys.
+	for off := 0; off < sTuples; off += TBThreads {
+		n := sTuples - off
+		if n > TBThreads {
+			n = TBThreads
+		}
+		addrs := make([]uint64, TBThreads)
+		active := make([]bool, TBThreads)
+		for t := 0; t < n; t++ {
+			addrs[t] = sBase + uint64(off+t)*tupleBytes
+			active[t] = true
+		}
+		b.LoadMasked(addrs, active)
+		b.Compute(12)
+	}
+
+	// Emit matches to the child's private output run.
+	b.Store(func(tid int) uint64 {
+		return RegionOut + uint64(part)*1024 + uint64(tid)*8
+	})
+	b.Compute(8)
+
+	return isa.NewKernel("join-child").Add(b.Build()).Build()
+}

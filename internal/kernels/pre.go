@@ -1,0 +1,82 @@
+package kernels
+
+import "laperm/internal/isa"
+
+// buildPRE constructs a product-recommendation pass over a MovieLens-like
+// rating matrix: each parent thread inspects one target user's activity;
+// active users (a heavy-tailed minority) get a child TB that re-reads the
+// user's rating row and gathers the feature vectors of the rated items to
+// score recommendations.
+//
+// Item popularity is Zipf-like, so siblings share the hot items' feature
+// blocks; each child also shares its target user's rating row with the
+// parent's prefetch of it.
+func buildPRE(s Scale) *isa.Kernel {
+	const (
+		rowBytes  = 256 // 64 items x 4 bytes per user rating row
+		featBytes = 64  // item feature vector
+		numItems  = 512
+		itemReads = 24 // rated items gathered per child
+	)
+	parents := s.parentTBs()
+	rowAddr := func(u int) uint64 { return RegionData + uint64(u)*rowBytes }
+	featAddr := func(i int) uint64 { return RegionData2 + uint64(i%numItems)*featBytes }
+	activityAddr := func(u int) uint64 { return RegionWeight + uint64(u)*4 }
+
+	kb := isa.NewKernel("pre")
+	for p := 0; p < parents; p++ {
+		base := p * TBThreads
+		b := isa.NewTB(TBThreads).Resources(26, 0)
+
+		// Read each target user's activity counter and the head of
+		// their rating row.
+		b.Load(func(tid int) uint64 { return activityAddr(base + tid) })
+		b.Load(func(tid int) uint64 { return rowAddr(base + tid) })
+		b.Compute(14)
+
+		for t := 0; t < TBThreads; t++ {
+			u := base + t
+			// Heavy-tailed activity: ~20% of users are active
+			// enough to warrant a recommendation child.
+			if hashFloat(uint64(u)*389) >= 0.2 {
+				continue
+			}
+			b.Launch(t, preChild(rowAddr, featAddr, u, itemReads))
+		}
+		b.Compute(10)
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// preChild scores recommendations for user u: re-read the full rating row,
+// gather the rated items' feature vectors (Zipf-popular items recur across
+// children), and write the top-k list.
+func preChild(rowAddr func(int) uint64, featAddr func(int) uint64, u, itemReads int) *isa.Kernel {
+	b := isa.NewTB(TBThreads).Resources(24, 0)
+
+	// The full rating row: 64 threads x 4 bytes.
+	b.Load(func(tid int) uint64 { return rowAddr(u) + uint64(tid)*4 })
+	b.Compute(12)
+
+	// Gather rated items' features, one item per 8-thread lane group per
+	// round. Item choice is Zipf-like: most reads hit a small hot set
+	// shared across users.
+	for r := 0; r < itemReads/8; r++ {
+		b.Load(func(tid int) uint64 {
+			h := splitmix64(uint64(u*64+r*8) + uint64(tid/8))
+			item := int(h % 512)
+			if h%10 < 7 { // 70% of reads to the 32 hottest items
+				item = int(h % 32)
+			}
+			return featAddr(item) + uint64(tid%16)*4
+		})
+		b.Compute(12)
+	}
+
+	// Write the user's top-k recommendation list (private).
+	b.Store(func(tid int) uint64 { return RegionOut + uint64(u)*256 + uint64(tid)*4 })
+	b.Compute(8)
+
+	return isa.NewKernel("pre-child").Add(b.Build()).Build()
+}

@@ -1,0 +1,94 @@
+package kernels
+
+import "laperm/internal/isa"
+
+// buildREGX constructs a regular-expression matching pass over a packet (or
+// string) collection: each parent thread prefilters one record's header
+// against the automaton's first-state table; records that pass are handed to
+// child TBs that run the full NFA over the payload.
+//
+// All children share the NFA transition table (strong sibling locality)
+// while each scans its own payload. The darpa input has longer payloads and
+// a higher, burstier match rate than the random-string collection.
+func buildREGX(s Scale, darpa bool) *isa.Kernel {
+	const (
+		packetStride = 512  // bytes reserved per record
+		tableBytes   = 2048 // NFA transition table (16 blocks)
+	)
+	payloadBlocks := 2 // random strings: 256-byte payloads
+	matchRate := 0.08
+	if darpa {
+		payloadBlocks = 4 // darpa: 512-byte packets
+		matchRate = 0.2
+	}
+	parents := s.parentTBs()
+	packetAddr := func(i int) uint64 { return RegionData + uint64(i)*packetStride }
+	tableAddr := func(off int) uint64 { return RegionData2 + uint64(off%tableBytes) }
+
+	kb := isa.NewKernel("regx")
+	for p := 0; p < parents; p++ {
+		base := p * TBThreads
+		b := isa.NewTB(TBThreads).Resources(24, 0)
+
+		// Prefilter: one header word per record, plus the automaton's
+		// first-state row (one shared block).
+		b.Load(func(tid int) uint64 { return packetAddr(base + tid) })
+		b.Load(func(tid int) uint64 { return tableAddr(0) })
+		b.Compute(14)
+		// Second header word and the second table row.
+		b.Load(func(tid int) uint64 { return packetAddr(base+tid) + 4 })
+		b.Load(func(tid int) uint64 { return tableAddr(128) })
+		b.Compute(14)
+
+		for t := 0; t < TBThreads; t++ {
+			id := base + t
+			r := hashFloat(uint64(id) * 263)
+			if darpa {
+				// Bursty: attacks cluster in record space.
+				if (id/32)%4 == 0 {
+					r *= 0.4
+				}
+			}
+			if r >= matchRate {
+				continue
+			}
+			b.Launch(t, regxChild(packetAddr, tableAddr, id, payloadBlocks))
+		}
+		b.Compute(8)
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// regxChild runs the full NFA over one record's payload: the threads stride
+// the payload in parallel and chase data-dependent transitions through the
+// shared table, then write the match verdict.
+func regxChild(packetAddr func(int) uint64, tableAddr func(int) uint64, id, payloadBlocks int) *isa.Kernel {
+	b := isa.NewTB(TBThreads).Resources(24, 0)
+
+	// Scan the payload: 64 threads x 4 bytes covers 256 bytes per round,
+	// so the darpa input's 512-byte packets take twice the rounds of the
+	// 256-byte random strings.
+	const bytesPerRound = TBThreads * 4
+	rounds := (payloadBlocks*128 + bytesPerRound - 1) / bytesPerRound
+	for r := 0; r < rounds; r++ {
+		off := r * bytesPerRound
+		b.Load(func(tid int) uint64 {
+			return packetAddr(id) + uint64(off+tid*4)%uint64(payloadBlocks*128)
+		})
+		b.Compute(10)
+		// Data-dependent transition lookups into the shared table.
+		b.Load(func(tid int) uint64 {
+			return tableAddr(int(splitmix64(uint64(id*1000+r*100+tid))) % 2048)
+		})
+		b.Compute(10)
+		b.Load(func(tid int) uint64 {
+			return tableAddr(int(splitmix64(uint64(id*1000+r*100+tid)*7)) % 2048)
+		})
+		b.Compute(12)
+	}
+	// Write the verdict.
+	b.Store(func(tid int) uint64 { return RegionOut + uint64(id)*4 })
+
+	return isa.NewKernel("regx-child").Add(b.Build()).Build()
+}

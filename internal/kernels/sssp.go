@@ -1,0 +1,82 @@
+package kernels
+
+import (
+	"laperm/internal/graph"
+	"laperm/internal/isa"
+)
+
+// buildSSSP constructs one relaxation sweep of single-source shortest paths:
+// structurally like BFS, but every expanded edge also reads its weight and
+// distance improvements write back to the distance array, so children touch
+// the weight region (aligned with their adjacency range) in addition to the
+// BFS footprint.
+func buildSSSP(s Scale, g *graph.CSR) *isa.Kernel {
+	kb := isa.NewKernel("sssp")
+	for p := 0; p < s.parentTBs(); p++ {
+		c := chunk{g: g, base: p * TBThreads}
+		b := isa.NewTB(TBThreads).Resources(28, 0)
+
+		// Read the distance of each owned vertex and its row bounds.
+		b.Load(func(tid int) uint64 { return propAddr(c.vertex(tid)) })
+		c.loadRowPtrs(b)
+		b.Compute(10)
+		c.peekNeighbors(b)
+		// Peek the corresponding weights too (same indices as the
+		// peeked adjacency entries).
+		for step := 0; step < peekSteps; step++ {
+			addrs := make([]uint64, TBThreads)
+			active := make([]bool, TBThreads)
+			for tid := 0; tid < TBThreads; tid++ {
+				if step < c.degree(tid) {
+					v := c.vertex(tid)
+					addrs[tid] = weightAddr(int(g.RowPtr[v]) + step)
+					active[tid] = true
+				}
+			}
+			b.LoadMasked(addrs, active)
+		}
+		b.Compute(12)
+
+		for _, v := range c.highDegreeVertices() {
+			b.Launch(v-c.base, expansionChild("sssp-child", g, v,
+				expandOpts{extra: ssspEdgeWork(g, v), frontierStore: true}))
+		}
+
+		c.inlineExpand(b, true)
+		b.Compute(10)
+		kb.Add(b.Build())
+	}
+	return kb.Build()
+}
+
+// ssspEdgeWork returns the per-edge extension for an SSSP expansion child:
+// load the edge weight, then write improved distances for a data-dependent
+// subset of neighbours.
+func ssspEdgeWork(g *graph.CSR, v int) func(b *isa.TBBuilder, edges []int) {
+	return func(b *isa.TBBuilder, edges []int) {
+		addrs := make([]uint64, TBThreads)
+		active := make([]bool, TBThreads)
+		for t, e := range edges {
+			addrs[t] = weightAddr(e)
+			active[t] = true
+		}
+		b.LoadMasked(addrs, active)
+		b.Compute(10)
+
+		// Relaxations that improve the distance store it back.
+		saddrs := make([]uint64, TBThreads)
+		sactive := make([]bool, TBThreads)
+		any := false
+		for t, e := range edges {
+			w := int(g.Col[e])
+			if hashFloat(uint64(e)*17+uint64(v)) < 0.4 {
+				saddrs[t] = propAddr(w)
+				sactive[t] = true
+				any = true
+			}
+		}
+		if any {
+			b.StoreMasked(saddrs, sactive)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package mem models the GPU memory hierarchy of Figure 1: a private
+// set-associative L1 per SMX, a banked L2 shared across SMXs, and an
+// off-chip DRAM with bounded bandwidth. Timing is expressed as the core
+// cycle at which an access completes; contention is modelled with per-bank
+// and DRAM service queues, and L1 MSHRs bound outstanding misses.
+package mem
+
+import "fmt"
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses int64
+	Hits     int64
+}
+
+// Misses returns Accesses - Hits.
+func (s Stats) Misses() int64 { return s.Accesses - s.Hits }
+
+// HitRate returns Hits/Accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", s.Hits, s.Accesses, 100*s.HitRate())
+}
+
+type cacheLine struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// Cache is a set-associative cache with true LRU replacement over 128-byte
+// lines. It tracks contents and hit statistics only; timing lives in System.
+type Cache struct {
+	sets    [][]cacheLine
+	numSets uint64
+	useTick uint64
+	stats   Stats
+}
+
+// NewCache builds a cache with the given set count and associativity.
+func NewCache(numSets, assoc int) *Cache {
+	if numSets <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("mem: NewCache(%d, %d): geometry must be positive", numSets, assoc))
+	}
+	sets := make([][]cacheLine, numSets)
+	backing := make([]cacheLine, numSets*assoc)
+	for i := range sets {
+		sets[i], backing = backing[:assoc:assoc], backing[assoc:]
+	}
+	return &Cache{sets: sets, numSets: uint64(numSets)}
+}
+
+// Access looks up the line identified by lineID (byte address divided by the
+// line size), allocating it on a miss, and reports whether it hit. The
+// access is counted in the cache's statistics.
+func (c *Cache) Access(lineID uint64) bool {
+	hit := c.access(lineID, true)
+	c.stats.Accesses++
+	if hit {
+		c.stats.Hits++
+	}
+	return hit
+}
+
+// Probe reports whether the line is present without allocating or touching
+// LRU state or statistics.
+func (c *Cache) Probe(lineID uint64) bool {
+	set := c.sets[lineID%c.numSets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineID {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch updates the line's LRU position if present without allocating; used
+// for write-through-no-allocate stores that hit. Not counted in statistics.
+func (c *Cache) Touch(lineID uint64) bool {
+	return c.access(lineID, false)
+}
+
+func (c *Cache) access(lineID uint64, allocate bool) bool {
+	c.useTick++
+	set := c.sets[lineID%c.numSets]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == lineID {
+			set[i].lastUse = c.useTick
+			return true
+		}
+		if set[i].lastUse < set[victim].lastUse || !set[i].valid && set[victim].valid {
+			victim = i
+		}
+	}
+	if allocate {
+		// Prefer an invalid way over evicting.
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+		}
+		set[victim] = cacheLine{tag: lineID, valid: true, lastUse: c.useTick}
+	}
+	return false
+}
+
+// Stats returns the accumulated access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Occupancy returns the number of valid lines, for tests and introspection.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package mem
+
+import (
+	"fmt"
+
+	"laperm/internal/config"
+)
+
+// mshrEntry is one outstanding L1 miss.
+type mshrEntry struct {
+	lineID   uint64
+	complete uint64
+}
+
+// mshrTable bounds and merges outstanding misses for one SMX's L1.
+type mshrTable struct {
+	entries []mshrEntry
+	cap     int
+}
+
+// lookup returns the completion cycle of an outstanding miss to lineID, if
+// one exists at cycle now (expired entries are pruned first).
+func (m *mshrTable) lookup(lineID, now uint64) (uint64, bool) {
+	m.expire(now)
+	for i := range m.entries {
+		if m.entries[i].lineID == lineID {
+			return m.entries[i].complete, true
+		}
+	}
+	return 0, false
+}
+
+func (m *mshrTable) expire(now uint64) {
+	keep := m.entries[:0]
+	for _, e := range m.entries {
+		if e.complete > now {
+			keep = append(keep, e)
+		}
+	}
+	m.entries = keep
+}
+
+func (m *mshrTable) full(now uint64) bool {
+	m.expire(now)
+	return len(m.entries) >= m.cap
+}
+
+func (m *mshrTable) add(lineID, complete uint64) {
+	m.entries = append(m.entries, mshrEntry{lineID: lineID, complete: complete})
+}
+
+// System is the complete memory hierarchy: one L1 (with MSHRs) per SMX,
+// address-interleaved L2 banks, and a bandwidth-limited DRAM.
+type System struct {
+	cfg *config.GPU
+
+	l1   []*Cache
+	mshr []*mshrTable
+	l2   []*Cache
+
+	// l2Next is the next free service slot of each L2 bank (one access
+	// per bank per cycle).
+	l2Next []uint64
+	// dramNextMilli is the next free DRAM service slot in millicycles,
+	// advanced by the per-transaction service interval derived from the
+	// bandwidth cap.
+	dramNextMilli uint64
+	dramTrans     int64
+	storeAccesses int64
+}
+
+// NewSystem builds the memory hierarchy for the given configuration.
+func NewSystem(cfg *config.GPU) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("mem: invalid config: %v", err))
+	}
+	// One L1 (and MSHR table) per cluster; with SMXsPerCluster == 1 each
+	// SMX has a private L1 (the K20c arrangement).
+	s := &System{
+		cfg:    cfg,
+		l1:     make([]*Cache, cfg.NumClusters()),
+		mshr:   make([]*mshrTable, cfg.NumClusters()),
+		l2:     make([]*Cache, cfg.L2Banks),
+		l2Next: make([]uint64, cfg.L2Banks),
+	}
+	for i := range s.l1 {
+		s.l1[i] = NewCache(cfg.L1Sets(), cfg.L1Assoc)
+		s.mshr[i] = &mshrTable{cap: cfg.L1MSHRs}
+	}
+	for i := range s.l2 {
+		s.l2[i] = NewCache(cfg.L2SetsPerBank(), cfg.L2Assoc)
+	}
+	return s
+}
+
+// mix64 is the (bijective) splitmix64 finalizer. The L2 hashes line
+// addresses through it before bank/set selection, as NVIDIA L2s hash
+// physical addresses: without hashing, power-of-two strides (4 KB slabs,
+// region bases) alias onto a fraction of the sets and cyclic workloads
+// degrade to zero hits.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// l2Place maps a line to its L2 bank and the placement ID used inside the
+// bank's cache. mix64 is bijective and IDs within one bank share the same
+// residue, so placement IDs stay unique per line.
+func (s *System) l2Place(lineID uint64) (bank int, placeID uint64) {
+	h := mix64(lineID)
+	n := uint64(s.cfg.L2Banks)
+	return int(h % n), h / n
+}
+
+// l2Access performs the shared-L2 leg of an access, returning the completion
+// cycle. The access occupies the bank's single service port for one cycle;
+// on a miss it additionally queues for DRAM.
+func (s *System) l2Access(lineID, now uint64) uint64 {
+	bank, placeID := s.l2Place(lineID)
+	start := now
+	if s.l2Next[bank] > start {
+		start = s.l2Next[bank]
+	}
+	s.l2Next[bank] = start + 1
+	if s.l2[bank].Access(placeID) {
+		return start + uint64(s.cfg.L2HitLatency)
+	}
+	return s.dramAccess(start)
+}
+
+// dramAccess queues one 128-byte DRAM transaction starting no earlier than
+// `ready` and returns its completion cycle.
+func (s *System) dramAccess(ready uint64) uint64 {
+	// Service interval is 1000/DRAMTransPer1000Cycles core cycles per
+	// transaction, tracked with millicycle precision.
+	interval := uint64(1000000 / s.cfg.DRAMTransPer1000Cycles)
+	startMilli := ready * 1000
+	if s.dramNextMilli > startMilli {
+		startMilli = s.dramNextMilli
+	}
+	s.dramNextMilli = startMilli + interval
+	s.dramTrans++
+	return startMilli/1000 + uint64(s.cfg.DRAMLatency)
+}
+
+// Load performs one coalesced 128-byte load transaction for the given SMX at
+// cycle now. lineAddr must be line-aligned (as produced by isa.Coalesce).
+// It returns the cycle at which the data is available and ok=false if the
+// SMX's MSHRs are full (the caller must retry on a later cycle; the access
+// is not counted).
+func (s *System) Load(smx int, lineAddr, now uint64) (complete uint64, ok bool) {
+	lineID := lineAddr / config.LineSize
+	l1 := s.l1[s.cfg.ClusterOf(smx)]
+	tbl := s.mshr[s.cfg.ClusterOf(smx)]
+
+	// A hit under an outstanding miss to the same line merges with the
+	// MSHR entry: it completes with the fill, counts as an L1 miss (the
+	// data was not in the cache), but generates no new L2 traffic.
+	if c, merged := tbl.lookup(lineID, now); merged {
+		l1.stats.Accesses++
+		return c, true
+	}
+	if l1.Probe(lineID) {
+		l1.Access(lineID) // counts the hit and updates LRU
+		return now + uint64(s.cfg.L1HitLatency), true
+	}
+	// Miss: needs an MSHR before it can allocate and go to L2. A full
+	// table rejects the access entirely (not counted); the warp retries.
+	if tbl.full(now) {
+		return 0, false
+	}
+	l1.Access(lineID) // counts the miss and allocates the fill target
+	c := s.l2Access(lineID, now)
+	tbl.add(lineID, c)
+	return c, true
+}
+
+// Store performs one coalesced 128-byte store transaction. Kepler L1s are
+// write-through/no-allocate for global stores: the L1 is updated only if the
+// line is already present, and the transaction always proceeds to the L2
+// (write-allocate). Stores do not occupy MSHRs and never stall the issuing
+// warp; the returned cycle is when the store drains, for accounting only.
+func (s *System) Store(smx int, lineAddr, now uint64) uint64 {
+	lineID := lineAddr / config.LineSize
+	s.l1[s.cfg.ClusterOf(smx)].Touch(lineID)
+	s.storeAccesses++
+	return s.l2Access(lineID, now)
+}
+
+// L1Stats returns the load statistics of the L1 serving the given SMX (its
+// cluster's cache).
+func (s *System) L1Stats(smx int) Stats { return s.l1[s.cfg.ClusterOf(smx)].Stats() }
+
+// L1Total returns load statistics aggregated over all L1s.
+func (s *System) L1Total() Stats {
+	var t Stats
+	for _, c := range s.l1 {
+		t.Add(c.Stats())
+	}
+	return t
+}
+
+// L2Total returns statistics aggregated over all L2 banks (loads that missed
+// L1, plus stores).
+func (s *System) L2Total() Stats {
+	var t Stats
+	for _, c := range s.l2 {
+		t.Add(c.Stats())
+	}
+	return t
+}
+
+// DRAMTransactions returns the number of off-chip transactions issued.
+func (s *System) DRAMTransactions() int64 { return s.dramTrans }
+
+// StoreCount returns the number of store transactions processed.
+func (s *System) StoreCount() int64 { return s.storeAccesses }

@@ -1,0 +1,333 @@
+package mem
+
+import (
+	"testing"
+
+	"laperm/internal/config"
+)
+
+func testCfg() *config.GPU {
+	g := config.SmallTest()
+	return &g
+}
+
+func TestLoadLatencyLevels(t *testing.T) {
+	cfg := testCfg()
+	s := NewSystem(cfg)
+
+	// Cold load: misses L1 and L2, pays DRAM latency.
+	done, ok := s.Load(0, 0, 100)
+	if !ok {
+		t.Fatal("cold load stalled")
+	}
+	if want := uint64(100 + cfg.DRAMLatency); done != want {
+		t.Errorf("cold load completes at %d, want %d", done, want)
+	}
+
+	// Warm L1 load.
+	done, ok = s.Load(0, 0, 10000)
+	if !ok {
+		t.Fatal("warm load stalled")
+	}
+	if want := uint64(10000 + cfg.L1HitLatency); done != want {
+		t.Errorf("L1 hit completes at %d, want %d", done, want)
+	}
+
+	// Same line from a different SMX: misses its own L1, hits shared L2.
+	done, ok = s.Load(1, 0, 20000)
+	if !ok {
+		t.Fatal("cross-SMX load stalled")
+	}
+	if want := uint64(20000 + cfg.L2HitLatency); done != want {
+		t.Errorf("L2 hit completes at %d, want %d", done, want)
+	}
+}
+
+func TestLoadStats(t *testing.T) {
+	s := NewSystem(testCfg())
+	s.Load(0, 0, 0)
+	s.Load(0, 0, 10000)
+	s.Load(1, 0, 20000)
+	l1 := s.L1Total()
+	if l1.Accesses != 3 || l1.Hits != 1 {
+		t.Errorf("L1 total = %+v, want 3 accesses 1 hit", l1)
+	}
+	l2 := s.L2Total()
+	if l2.Accesses != 2 || l2.Hits != 1 {
+		t.Errorf("L2 total = %+v, want 2 accesses 1 hit", l2)
+	}
+	if s.DRAMTransactions() != 1 {
+		t.Errorf("DRAM transactions = %d, want 1", s.DRAMTransactions())
+	}
+	if got := s.L1Stats(0); got.Accesses != 2 {
+		t.Errorf("SMX0 L1 accesses = %d, want 2", got.Accesses)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	cfg := testCfg()
+	s := NewSystem(cfg)
+	// Two loads to the same line from the same SMX within the miss window
+	// merge: same completion, a single L2 access.
+	d1, ok1 := s.Load(0, 0, 0)
+	d2, ok2 := s.Load(0, 0, 5)
+	if !ok1 || !ok2 {
+		t.Fatal("loads stalled")
+	}
+	if d1 != d2 {
+		t.Errorf("merged load completes at %d, want %d", d2, d1)
+	}
+	if got := s.L2Total().Accesses; got != 1 {
+		t.Errorf("L2 accesses = %d, want 1 (merged)", got)
+	}
+	// Both count as L1 accesses, zero hits (data was in flight, not
+	// resident).
+	l1 := s.L1Stats(0)
+	if l1.Accesses != 2 || l1.Hits != 0 {
+		t.Errorf("L1 stats = %+v, want 2 accesses 0 hits", l1)
+	}
+}
+
+func TestMSHRCapacityStalls(t *testing.T) {
+	cfg := testCfg()
+	cfg.L1MSHRs = 2
+	s := NewSystem(cfg)
+	if _, ok := s.Load(0, 0*config.LineSize, 0); !ok {
+		t.Fatal("load 0 stalled")
+	}
+	if _, ok := s.Load(0, 1*config.LineSize, 0); !ok {
+		t.Fatal("load 1 stalled")
+	}
+	// Third distinct miss in the same window must stall.
+	if _, ok := s.Load(0, 2*config.LineSize, 0); ok {
+		t.Fatal("load 2 should stall with 2 MSHRs")
+	}
+	// A merge to an outstanding line still succeeds while full.
+	if _, ok := s.Load(0, 0, 1); !ok {
+		t.Fatal("merge should not stall on full MSHRs")
+	}
+	// After the misses complete, capacity frees up.
+	later := uint64(cfg.DRAMLatency + 10)
+	if _, ok := s.Load(0, 2*config.LineSize, later); !ok {
+		t.Fatal("load after MSHR drain stalled")
+	}
+	// The stalled attempt must not have been counted.
+	if got := s.L1Stats(0).Accesses; got != 4 {
+		t.Errorf("L1 accesses = %d, want 4 (stall not counted)", got)
+	}
+}
+
+func TestMSHRStallDoesNotAllocate(t *testing.T) {
+	cfg := testCfg()
+	cfg.L1MSHRs = 1
+	s := NewSystem(cfg)
+	s.Load(0, 0, 0)
+	if _, ok := s.Load(0, 512, 0); ok {
+		t.Fatal("expected stall")
+	}
+	// A retry of the stalled line once MSHRs drain must be an L1 miss
+	// (the stall must not have allocated the line).
+	later := uint64(cfg.DRAMLatency + 10)
+	hitsBefore := s.L1Stats(0).Hits
+	if _, ok := s.Load(0, 512, later); !ok {
+		t.Fatal("retry stalled")
+	}
+	if s.L1Stats(0).Hits != hitsBefore {
+		t.Error("stalled access left the line allocated (retry hit)")
+	}
+}
+
+func TestStoreWriteThroughNoAllocate(t *testing.T) {
+	cfg := testCfg()
+	s := NewSystem(cfg)
+	s.Store(0, 0, 0)
+	// Store must not allocate in L1 ...
+	load, ok := s.Load(0, 0, 10000)
+	if !ok {
+		t.Fatal("load stalled")
+	}
+	// ... but must allocate in L2, so the load is an L2 hit.
+	if want := uint64(10000 + cfg.L2HitLatency); load != want {
+		t.Errorf("load after store completes at %d, want L2 hit at %d", load, want)
+	}
+	if s.StoreCount() != 1 {
+		t.Errorf("store count = %d", s.StoreCount())
+	}
+}
+
+func TestStoreTouchKeepsL1LineWarm(t *testing.T) {
+	cfg := testCfg()
+	s := NewSystem(cfg)
+	s.Load(0, 0, 0)     // allocate line 0 in L1
+	s.Store(0, 0, 5000) // write-through hit: refreshes LRU
+	d, ok := s.Load(0, 0, 10000)
+	if !ok {
+		t.Fatal("load stalled")
+	}
+	if want := uint64(10000 + cfg.L1HitLatency); d != want {
+		t.Errorf("load completes at %d, want L1 hit %d", d, want)
+	}
+}
+
+func TestL2BankInterleaving(t *testing.T) {
+	cfg := testCfg() // 2 banks
+	s := NewSystem(cfg)
+	// Find two lines on different banks and two on the same bank under
+	// the hashed placement.
+	bank0, _ := s.l2Place(0)
+	var other, same uint64
+	for l := uint64(1); ; l++ {
+		b, _ := s.l2Place(l)
+		if b != bank0 && other == 0 {
+			other = l
+		}
+		if b == bank0 && same == 0 {
+			same = l
+		}
+		if other != 0 && same != 0 {
+			break
+		}
+	}
+	// Different banks: both cold misses at cycle 0 start service
+	// immediately (no conflict).
+	d0, _ := s.Load(0, 0, 0)
+	d1, _ := s.Load(1, other*config.LineSize, 0)
+	if d0 != d1 {
+		t.Errorf("different banks should not serialise: %d vs %d", d0, d1)
+	}
+	// Same bank at the same cycle serialises by one bank-service cycle.
+	s2 := NewSystem(cfg)
+	a, _ := s2.Load(0, 0, 0)
+	b, _ := s2.Load(1, same*config.LineSize, 0)
+	if b != a+1 {
+		t.Errorf("same-bank accesses: %d then %d, want +1 serialisation", a, b)
+	}
+}
+
+// TestL2HashingAvoidsStrideAliasing is a regression test for the zero-hit
+// pathology: 4 KB-strided slabs re-read cyclically must enjoy L2 reuse when
+// they fit in aggregate capacity.
+func TestL2HashingAvoidsStrideAliasing(t *testing.T) {
+	cfg := testCfg() // 64 KB L2 = 512 lines
+	s := NewSystem(cfg)
+	// 24 slabs of 4 lines at a 32-line (4 KB) stride: 96 lines, fits.
+	var lines []uint64
+	for p := uint64(0); p < 24; p++ {
+		for k := uint64(0); k < 4; k++ {
+			lines = append(lines, (p*32+k)*config.LineSize)
+		}
+	}
+	// Space accesses out so the MSHRs never fill.
+	now := uint64(0)
+	for _, l := range lines {
+		if _, ok := s.Load(0, l, now); !ok {
+			t.Fatalf("cold load of %#x stalled", l)
+		}
+		now += 1000
+	}
+	hits := 0
+	for _, l := range lines {
+		now += 1000
+		d, ok := s.Load(1, l, now)
+		if !ok {
+			t.Fatalf("warm load of %#x stalled", l)
+		}
+		if d == now+uint64(cfg.L2HitLatency) {
+			hits++
+		}
+	}
+	if hits < len(lines)*3/4 {
+		t.Errorf("only %d/%d re-reads hit the L2; set hashing not effective", hits, len(lines))
+	}
+}
+
+func TestDRAMBandwidthThrottling(t *testing.T) {
+	cfg := testCfg()
+	cfg.DRAMTransPer1000Cycles = 1000 // exactly 1 per cycle
+	s := NewSystem(cfg)
+	var last uint64
+	for i := 0; i < 10; i++ {
+		// Distinct lines, alternating banks so bank ports do not bind.
+		d, ok := s.Load(i%cfg.NumSMX, uint64(i)*config.LineSize, 0)
+		if !ok {
+			t.Fatalf("load %d stalled", i)
+		}
+		if i > 0 && d < last {
+			t.Errorf("DRAM completions went backwards: %d after %d", d, last)
+		}
+		last = d
+	}
+	// 10 transactions at 1/cycle must span at least 9 cycles of service.
+	first := uint64(cfg.DRAMLatency) // i=0 starts at its bank slot 0
+	if last < first+9 {
+		t.Errorf("last completion %d, want >= %d (bandwidth-limited)", last, first+9)
+	}
+}
+
+func TestDRAMFractionalBandwidth(t *testing.T) {
+	cfg := testCfg()
+	cfg.DRAMTransPer1000Cycles = 1500 // 1.5 per cycle => 666 millicycles each
+	s := NewSystem(cfg)
+	n := 15
+	var last uint64
+	for i := 0; i < n; i++ {
+		d, ok := s.Load(i%cfg.NumSMX, uint64(i)*config.LineSize, 0)
+		if !ok {
+			t.Fatalf("load %d stalled", i)
+		}
+		last = d
+	}
+	// 15 transactions at 1.5/cycle take ~10 cycles of service.
+	lo := uint64(cfg.DRAMLatency) + 8
+	hi := uint64(cfg.DRAMLatency) + 12
+	if last < lo || last > hi {
+		t.Errorf("last completion %d, want in [%d, %d]", last, lo, hi)
+	}
+}
+
+func TestNewSystemPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSystem with invalid config did not panic")
+		}
+	}()
+	bad := config.SmallTest()
+	bad.NumSMX = 0
+	NewSystem(&bad)
+}
+
+func TestSMXL1Isolation(t *testing.T) {
+	s := NewSystem(testCfg())
+	s.Load(0, 0, 0)
+	// SMX 1's L1 must not contain SMX 0's line.
+	d, ok := s.Load(1, 0, 10000)
+	if !ok {
+		t.Fatal("stall")
+	}
+	if d == 10000+uint64(testCfg().L1HitLatency) {
+		t.Error("L1s are not private: SMX1 hit on SMX0's fill")
+	}
+}
+
+func TestClusterSharedL1(t *testing.T) {
+	cfg := testCfg() // 4 SMXs
+	cfg.SMXsPerCluster = 2
+	s := NewSystem(cfg)
+	s.Load(0, 0, 0) // SMX 0 fills the cluster-0 L1
+	// SMX 1 shares that L1 and must hit.
+	d, ok := s.Load(1, 0, 10000)
+	if !ok {
+		t.Fatal("stall")
+	}
+	if want := uint64(10000 + cfg.L1HitLatency); d != want {
+		t.Errorf("cluster-mate load completes at %d, want L1 hit %d", d, want)
+	}
+	// SMX 2 is in the other cluster: its L1 is cold, so L2 hit.
+	d, ok = s.Load(2, 0, 20000)
+	if !ok {
+		t.Fatal("stall")
+	}
+	if want := uint64(20000 + cfg.L2HitLatency); d != want {
+		t.Errorf("other-cluster load completes at %d, want L2 hit %d", d, want)
+	}
+}

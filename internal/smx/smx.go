@@ -1,0 +1,454 @@
+// Package smx models one streaming multiprocessor: resident thread blocks
+// with resource accounting, per-warp execution state, the warp scheduler
+// (Greedy-Then-Oldest by default, per Table I), the memory coalescer, and
+// block-wide barriers. The package is deliberately unaware of kernels and
+// TB scheduling; the GPU engine owns those and observes SMX events through
+// the Events interface.
+package smx
+
+import (
+	"fmt"
+
+	"laperm/internal/config"
+	"laperm/internal/isa"
+	"laperm/internal/mem"
+)
+
+// Policy selects the warp scheduling discipline.
+type Policy int
+
+const (
+	// GTO is Greedy-Then-Oldest (Table I): keep issuing from the warp
+	// that issued last; when it cannot issue, fall back to the oldest
+	// ready warp.
+	GTO Policy = iota
+	// LRR is loose round-robin over resident warps.
+	LRR
+	// TwoLevel is the two-level scheduler of Narasiman et al.: warps are
+	// partitioned into fetch groups of TwoLevelGroupSize; issue stays
+	// within the active group until it has nothing ready, then moves to
+	// the next group. Grouping keeps groups at different program points,
+	// overlapping one group's memory stalls with another's compute.
+	TwoLevel
+)
+
+// TwoLevelGroupSize is the fetch-group width of the TwoLevel policy.
+const TwoLevelGroupSize = 8
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case GTO:
+		return "gto"
+	case LRR:
+		return "lrr"
+	case TwoLevel:
+		return "two-level"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Events receives notifications from an SMX. The GPU engine implements it.
+type Events interface {
+	// Launch is invoked when a warp executes a device-side launch
+	// instruction.
+	Launch(smxID int, b *Block, child *isa.Kernel, now uint64)
+	// BlockDone is invoked when every warp of a resident block has
+	// retired and its resources have been freed.
+	BlockDone(smxID int, b *Block, now uint64)
+}
+
+// Block is one resident thread block.
+type Block struct {
+	Prog *isa.TB
+	// Owner is an opaque reference for the GPU engine (the kernel
+	// instance the block belongs to).
+	Owner any
+	// Seq is the global dispatch sequence number, used for age ordering.
+	Seq uint64
+	// DispatchCycle records when the block was placed on the SMX.
+	DispatchCycle uint64
+
+	warps     []*warp
+	arrived   int // warps waiting at the current barrier
+	doneWarps int
+	// retireAt is the completion cycle of the block's last instruction;
+	// resources are held until then.
+	retireAt uint64
+	dead     bool
+}
+
+type warp struct {
+	block *Block
+	idx   int
+	pc    int
+	// readyAt is the first cycle the warp may issue again.
+	readyAt uint64
+	// pending holds coalesced line addresses of the current memory
+	// instruction not yet accepted by the memory system (MSHR stalls).
+	pending []uint64
+	// pendingMax is the latest completion cycle among the transactions
+	// already issued for the current memory instruction.
+	pendingMax uint64
+	atBarrier  bool
+	done       bool
+}
+
+func (w *warp) stream() []isa.Inst { return w.block.Prog.Warps[w.idx] }
+
+func (w *warp) canIssue(now uint64) bool {
+	return !w.done && !w.atBarrier && w.readyAt <= now
+}
+
+// Stats aggregates execution statistics for one SMX.
+type Stats struct {
+	// ThreadInsts counts issued instructions weighted by active lanes
+	// (the numerator of IPC).
+	ThreadInsts int64
+	// WarpInsts counts issued warp instructions.
+	WarpInsts int64
+	// ResidentCycles counts cycles with at least one resident warp.
+	ResidentCycles uint64
+	// IssueCycles counts cycles in which at least one instruction
+	// issued.
+	IssueCycles uint64
+	// BlocksCompleted counts retired thread blocks.
+	BlocksCompleted int
+	// MemStallEvents counts cycles a warp spent blocked on a full MSHR
+	// table.
+	MemStallEvents int64
+}
+
+// SMX is one streaming multiprocessor.
+type SMX struct {
+	ID     int
+	cfg    *config.GPU
+	mem    *mem.System
+	events Events
+	policy Policy
+
+	blocks []*Block
+	warps  []*warp // issue-age order (dispatch order)
+
+	usedThreads int
+	usedRegs    int
+	usedShmem   int
+
+	greedy      *warp
+	rrCursor    int
+	activeGroup int
+	nextSeq     *uint64
+	stats       Stats
+	needSweep   bool
+	// retiring holds blocks whose warps have all finished issuing but
+	// whose final instructions are still in flight.
+	retiring []*Block
+	// nextReady is a conservative lower bound on the next cycle any
+	// resident warp can issue; Tick returns immediately before it.
+	nextReady uint64
+}
+
+// New builds an SMX. nextSeq is a shared dispatch-sequence counter owned by
+// the GPU engine so that block ages are globally ordered.
+func New(id int, cfg *config.GPU, m *mem.System, ev Events, policy Policy, nextSeq *uint64) *SMX {
+	return &SMX{ID: id, cfg: cfg, mem: m, events: ev, policy: policy, nextSeq: nextSeq}
+}
+
+// CanFit reports whether the block's resource demands fit in the SMX's
+// currently free resources (threads, TB slots, registers, shared memory).
+func (s *SMX) CanFit(tb *isa.TB) bool {
+	return len(s.blocks) < s.cfg.TBsPerSMX &&
+		s.usedThreads+tb.Threads <= s.cfg.ThreadsPerSMX &&
+		s.usedRegs+tb.Registers() <= s.cfg.RegistersPerSMX &&
+		s.usedShmem+tb.SharedMemBytes <= s.cfg.SharedMemPerSMX
+}
+
+// AddBlock places a thread block on the SMX. The caller must have checked
+// CanFit; AddBlock panics otherwise.
+func (s *SMX) AddBlock(tb *isa.TB, owner any, now uint64) *Block {
+	if !s.CanFit(tb) {
+		panic(fmt.Sprintf("smx %d: AddBlock without resources for %d threads", s.ID, tb.Threads))
+	}
+	if now < s.nextReady {
+		s.nextReady = now
+	}
+	b := &Block{Prog: tb, Owner: owner, Seq: *s.nextSeq, DispatchCycle: now}
+	*s.nextSeq++
+	s.usedThreads += tb.Threads
+	s.usedRegs += tb.Registers()
+	s.usedShmem += tb.SharedMemBytes
+	s.blocks = append(s.blocks, b)
+	for i := 0; i < tb.NumWarps(); i++ {
+		w := &warp{block: b, idx: i, readyAt: now}
+		if len(w.stream()) == 0 {
+			w.done = true
+			b.doneWarps++
+		}
+		b.warps = append(b.warps, w)
+		s.warps = append(s.warps, w)
+	}
+	// A block whose every warp is empty completes immediately.
+	if b.doneWarps == len(b.warps) {
+		s.retire(b, now)
+		s.sweep()
+	}
+	return b
+}
+
+// ResidentBlocks returns the number of live blocks on the SMX.
+func (s *SMX) ResidentBlocks() int { return len(s.blocks) }
+
+// Idle reports whether the SMX has no resident warps.
+func (s *SMX) Idle() bool { return len(s.warps) == 0 }
+
+// Stats returns accumulated statistics.
+func (s *SMX) Stats() Stats { return s.stats }
+
+// Tick advances the SMX by one cycle, issuing up to IssueWidth warp
+// instructions and retiring blocks whose final instructions have drained.
+func (s *SMX) Tick(now uint64) {
+	if len(s.warps) == 0 {
+		return
+	}
+	s.stats.ResidentCycles++
+	if now < s.nextReady {
+		return
+	}
+	// Retire blocks whose last in-flight instruction has completed.
+	if len(s.retiring) > 0 {
+		keep := s.retiring[:0]
+		for _, b := range s.retiring {
+			if b.retireAt <= now {
+				s.retire(b, now)
+			} else {
+				keep = append(keep, b)
+			}
+		}
+		s.retiring = keep
+	}
+	issued := 0
+	switch s.policy {
+	case GTO:
+		// Greedy warp first, then oldest (s.warps is in dispatch
+		// order). A warp that issues gets readyAt > now, so one pass
+		// suffices.
+		if s.greedy != nil && s.greedy.canIssue(now) && s.issue(s.greedy, now) {
+			issued++
+		}
+		for _, w := range s.warps {
+			if issued >= s.cfg.IssueWidth {
+				break
+			}
+			if w.canIssue(now) && s.issue(w, now) {
+				issued++
+				s.greedy = w
+			}
+		}
+	case LRR:
+		n := len(s.warps)
+		for i := 0; i < n && issued < s.cfg.IssueWidth; i++ {
+			w := s.warps[(s.rrCursor+i)%n]
+			if w.canIssue(now) && s.issue(w, now) {
+				issued++
+				s.rrCursor = (s.rrCursor + i + 1) % n
+			}
+		}
+	case TwoLevel:
+		n := len(s.warps)
+		groups := (n + TwoLevelGroupSize - 1) / TwoLevelGroupSize
+		for g := 0; g < groups && issued == 0; g++ {
+			gi := (s.activeGroup + g) % groups
+			lo := gi * TwoLevelGroupSize
+			hi := lo + TwoLevelGroupSize
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi && issued < s.cfg.IssueWidth; i++ {
+				if w := s.warps[i]; w.canIssue(now) && s.issue(w, now) {
+					issued++
+				}
+			}
+			if issued > 0 {
+				s.activeGroup = gi
+			}
+		}
+	}
+	if issued > 0 {
+		s.stats.IssueCycles++
+	}
+	if s.needSweep {
+		s.sweep()
+	}
+	// Recompute the next cycle anything can happen: the earliest issuable
+	// warp or the earliest pending block retirement. Warps waiting at a
+	// barrier are excluded: their release happens inside the tick in
+	// which the last live warp arrives, which updates readyAt.
+	next := ^uint64(0)
+	for _, w := range s.warps {
+		if !w.done && !w.atBarrier && w.readyAt < next {
+			next = w.readyAt
+		}
+	}
+	for _, b := range s.retiring {
+		if b.retireAt < next {
+			next = b.retireAt
+		}
+	}
+	s.nextReady = next
+}
+
+// issue executes one instruction (or resumes a stalled memory instruction)
+// for warp w and reports whether an instruction issued.
+func (s *SMX) issue(w *warp, now uint64) bool {
+	if len(w.pending) > 0 {
+		return s.issueMem(w, nil, now)
+	}
+	in := &w.stream()[w.pc]
+	switch in.Kind {
+	case isa.OpCompute:
+		w.readyAt = now + uint64(in.Latency)
+		s.count(in)
+		s.advance(w, now)
+		return true
+	case isa.OpLoad, isa.OpStore:
+		return s.issueMem(w, in, now)
+	case isa.OpBarrier:
+		w.atBarrier = true
+		w.block.arrived++
+		s.count(in)
+		s.releaseBarrier(w.block, now)
+		return true
+	case isa.OpLaunch:
+		s.events.Launch(s.ID, w.block, w.block.Prog.Launches[in.Launch], now)
+		w.readyAt = now + 1
+		s.count(in)
+		s.advance(w, now)
+		return true
+	}
+	panic(fmt.Sprintf("smx %d: unknown op kind %v", s.ID, in.Kind))
+}
+
+// issueMem issues the (possibly resumed) transactions of a memory
+// instruction. in is nil when resuming a stalled instruction.
+func (s *SMX) issueMem(w *warp, in *isa.Inst, now uint64) bool {
+	if in != nil {
+		w.pending = isa.Coalesce(in.Addrs)
+		w.pendingMax = 0
+	} else {
+		in = &w.stream()[w.pc]
+	}
+	isStore := in.Kind == isa.OpStore
+	for len(w.pending) > 0 {
+		line := w.pending[0]
+		var done uint64
+		if isStore {
+			// Stores retire without blocking the warp; the drain
+			// cycle is accounted inside the memory system.
+			s.mem.Store(s.ID, line, now)
+			done = now + 1
+		} else {
+			var ok bool
+			done, ok = s.mem.Load(s.ID, line, now)
+			if !ok {
+				// MSHRs full: retry remaining transactions
+				// next cycle.
+				w.readyAt = now + 1
+				s.stats.MemStallEvents++
+				return false
+			}
+		}
+		if done > w.pendingMax {
+			w.pendingMax = done
+		}
+		w.pending = w.pending[1:]
+	}
+	w.readyAt = w.pendingMax
+	if isStore {
+		w.readyAt = now + 1
+	}
+	s.count(in)
+	s.advance(w, now)
+	return true
+}
+
+func (s *SMX) count(in *isa.Inst) {
+	s.stats.WarpInsts++
+	s.stats.ThreadInsts += int64(in.ActiveLanes)
+}
+
+// advance moves the warp past its current instruction. At stream end the
+// warp stops issuing; its block's resources are released only once its last
+// instruction completes (w.readyAt), matching hardware block retirement.
+func (s *SMX) advance(w *warp, now uint64) {
+	w.pc++
+	if w.pc < len(w.stream()) {
+		return
+	}
+	w.done = true
+	b := w.block
+	b.doneWarps++
+	if w.readyAt > b.retireAt {
+		b.retireAt = w.readyAt
+	}
+	// A finishing warp may be the last arrival a barrier was waiting on.
+	s.releaseBarrier(b, now)
+	if b.doneWarps == len(b.warps) && !b.dead {
+		if b.retireAt <= now {
+			s.retire(b, now)
+		} else {
+			s.retiring = append(s.retiring, b)
+		}
+	}
+}
+
+// releaseBarrier releases the block's barrier if every live warp has
+// arrived.
+func (s *SMX) releaseBarrier(b *Block, now uint64) {
+	if b.arrived == 0 || b.arrived < len(b.warps)-b.doneWarps {
+		return
+	}
+	b.arrived = 0
+	for _, bw := range b.warps {
+		if bw.atBarrier {
+			bw.atBarrier = false
+			bw.readyAt = now + 1
+			s.advance(bw, now)
+		}
+	}
+}
+
+// retire frees the block's resources and notifies the engine.
+func (s *SMX) retire(b *Block, now uint64) {
+	b.dead = true
+	s.usedThreads -= b.Prog.Threads
+	s.usedRegs -= b.Prog.Registers()
+	s.usedShmem -= b.Prog.SharedMemBytes
+	s.stats.BlocksCompleted++
+	s.needSweep = true
+	s.events.BlockDone(s.ID, b, now)
+}
+
+// sweep removes dead blocks and their warps from the issue lists.
+func (s *SMX) sweep() {
+	s.needSweep = false
+	blocks := s.blocks[:0]
+	for _, b := range s.blocks {
+		if !b.dead {
+			blocks = append(blocks, b)
+		}
+	}
+	s.blocks = blocks
+	warps := s.warps[:0]
+	for _, w := range s.warps {
+		if !w.block.dead {
+			warps = append(warps, w)
+		}
+	}
+	s.warps = warps
+	if s.greedy != nil && s.greedy.block.dead {
+		s.greedy = nil
+	}
+	if s.rrCursor >= len(s.warps) {
+		s.rrCursor = 0
+	}
+}

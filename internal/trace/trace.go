@@ -1,0 +1,138 @@
+// Package trace records structured simulation events (kernel lifecycle and
+// thread-block placement) and exports them as JSON Lines for debugging and
+// visualisation. The recorder attaches to the engine through the gpu
+// package's dispatch hook plus kernel-instance timestamps, so it costs
+// nothing when unused.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"laperm/internal/gpu"
+)
+
+// Kind labels an event.
+type Kind string
+
+// Event kinds, in lifecycle order.
+const (
+	// KernelLaunched: a device-side launch instruction executed (or a
+	// host kernel was submitted).
+	KernelLaunched Kind = "kernel_launched"
+	// KernelArrived: the launch latency elapsed; the instance became
+	// visible to the KMU or TB scheduler.
+	KernelArrived Kind = "kernel_arrived"
+	// TBDispatched: the TB scheduler placed one thread block on an SMX.
+	TBDispatched Kind = "tb_dispatched"
+	// KernelCompleted: every thread block of the instance finished.
+	KernelCompleted Kind = "kernel_completed"
+)
+
+// Event is one recorded simulation event.
+type Event struct {
+	Cycle    uint64 `json:"cycle"`
+	Kind     Kind   `json:"kind"`
+	Kernel   int    `json:"kernel"`
+	Name     string `json:"name"`
+	Priority int    `json:"priority"`
+	// Parent is the launching kernel's ID, or -1 for host kernels.
+	Parent int `json:"parent"`
+	// TB and SMX are set for TBDispatched events (-1 otherwise).
+	TB  int `json:"tb"`
+	SMX int `json:"smx"`
+}
+
+// Recorder accumulates events from one simulation run.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// DispatchHook returns a function suitable for gpu.Options.TraceDispatch
+// that records TBDispatched events.
+func (r *Recorder) DispatchHook() func(ki *gpu.KernelInstance, tbIndex, smxID int, cycle uint64) {
+	return func(ki *gpu.KernelInstance, tbIndex, smxID int, cycle uint64) {
+		r.events = append(r.events, Event{
+			Cycle:    cycle,
+			Kind:     TBDispatched,
+			Kernel:   ki.ID,
+			Name:     ki.Prog.Name,
+			Priority: ki.Priority,
+			Parent:   parentID(ki),
+			TB:       tbIndex,
+			SMX:      smxID,
+		})
+	}
+}
+
+// FinishRun appends the kernel lifecycle events (launch, arrival,
+// completion) recorded in the simulator's kernel instances. Call it after
+// Run returns; events are merged in cycle order.
+func (r *Recorder) FinishRun(sim *gpu.Simulator) {
+	for _, ki := range sim.Kernels() {
+		base := Event{
+			Kernel:   ki.ID,
+			Name:     ki.Prog.Name,
+			Priority: ki.Priority,
+			Parent:   parentID(ki),
+			TB:       -1,
+			SMX:      -1,
+		}
+		launched := base
+		launched.Cycle, launched.Kind = ki.LaunchCycle, KernelLaunched
+		r.events = append(r.events, launched)
+
+		arrived := base
+		arrived.Cycle, arrived.Kind = ki.ArriveCycle, KernelArrived
+		r.events = append(r.events, arrived)
+
+		if ki.Complete() {
+			completed := base
+			completed.Cycle, completed.Kind = ki.CompleteCycle, KernelCompleted
+			r.events = append(r.events, completed)
+		}
+	}
+	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].Cycle < r.events[j].Cycle })
+}
+
+func parentID(ki *gpu.KernelInstance) int {
+	if ki.Parent == nil {
+		return -1
+	}
+	return ki.Parent.ID
+}
+
+// Events returns the recorded events (cycle-ordered after FinishRun).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the event count.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteJSONL writes one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.events {
+		if err := enc.Encode(&r.events[i]); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Summary aggregates the trace into per-kernel-name counts, useful for a
+// quick look at what a run did.
+func (r *Recorder) Summary() map[string]map[Kind]int {
+	out := make(map[string]map[Kind]int)
+	for _, e := range r.events {
+		if out[e.Name] == nil {
+			out[e.Name] = make(map[Kind]int)
+		}
+		out[e.Name][e.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"laperm/internal/config"
+	"laperm/internal/core"
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+)
+
+func runTraced(t *testing.T) (*Recorder, *gpu.Simulator) {
+	t.Helper()
+	cfg := config.SmallTest()
+	cfg.DTBLLaunchLatency = 25
+	rec := NewRecorder()
+	sim := gpu.New(gpu.Options{
+		Config:        &cfg,
+		Scheduler:     core.NewRoundRobin(),
+		Model:         gpu.DTBL,
+		TraceDispatch: rec.DispatchHook(),
+	})
+	child := isa.NewKernel("child").Add(isa.NewTB(32).Compute(5).Build()).Build()
+	kb := isa.NewKernel("host")
+	for i := 0; i < 4; i++ {
+		kb.Add(isa.NewTB(32).Compute(2).Launch(0, child).Compute(10).Build())
+	}
+	sim.LaunchHost(kb.Build())
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishRun(sim)
+	return rec, sim
+}
+
+func TestRecorderCapturesFullLifecycle(t *testing.T) {
+	rec, sim := runTraced(t)
+	// 5 kernels (host + 4 children): launched, arrived, completed each,
+	// plus 8 TB dispatches (4 host TBs + 4 child TBs).
+	if want := 5*3 + 8; rec.Len() != want {
+		t.Fatalf("events = %d, want %d", rec.Len(), want)
+	}
+	sum := rec.Summary()
+	if sum["host"][TBDispatched] != 4 || sum["child"][TBDispatched] != 4 {
+		t.Errorf("summary = %v", sum)
+	}
+	if sum["child"][KernelCompleted] != 4 {
+		t.Errorf("child completions = %d", sum["child"][KernelCompleted])
+	}
+	_ = sim
+}
+
+func TestEventsCycleOrderedAndConsistent(t *testing.T) {
+	rec, _ := runTraced(t)
+	var last uint64
+	perKernel := make(map[int]map[Kind]uint64)
+	for _, e := range rec.Events() {
+		if e.Cycle < last {
+			t.Fatalf("events out of order at cycle %d", e.Cycle)
+		}
+		last = e.Cycle
+		if perKernel[e.Kernel] == nil {
+			perKernel[e.Kernel] = make(map[Kind]uint64)
+		}
+		perKernel[e.Kernel][e.Kind] = e.Cycle
+	}
+	for id, ks := range perKernel {
+		if ks[KernelArrived] < ks[KernelLaunched] {
+			t.Errorf("kernel %d arrived before launch", id)
+		}
+		if ks[KernelCompleted] < ks[KernelArrived] {
+			t.Errorf("kernel %d completed before arrival", id)
+		}
+	}
+}
+
+func TestParentLinks(t *testing.T) {
+	rec, _ := runTraced(t)
+	for _, e := range rec.Events() {
+		if e.Name == "host" && e.Parent != -1 {
+			t.Errorf("host kernel has parent %d", e.Parent)
+		}
+		if e.Name == "child" && e.Parent == -1 {
+			t.Error("child kernel missing parent link")
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	rec, _ := runTraced(t)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if e.Kind == "" || e.Name == "" {
+			t.Fatalf("line %d: incomplete event %+v", n, e)
+		}
+		n++
+	}
+	if n != rec.Len() {
+		t.Errorf("JSONL lines = %d, want %d", n, rec.Len())
+	}
+}
+
+func TestDispatchEventFields(t *testing.T) {
+	rec, _ := runTraced(t)
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case TBDispatched:
+			if e.SMX < 0 || e.TB < 0 {
+				t.Errorf("dispatch event missing placement: %+v", e)
+			}
+		default:
+			if e.SMX != -1 || e.TB != -1 {
+				t.Errorf("lifecycle event carries placement: %+v", e)
+			}
+		}
+	}
+}

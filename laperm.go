@@ -1,0 +1,144 @@
+// Package laperm is a from-scratch reproduction of "LaPerm: Locality Aware
+// Scheduler for Dynamic Parallelism on GPUs" (Wang, Rubin, Sidelnik,
+// Yalamanchili — ISCA 2016): a cycle-level GPU simulator in the style of
+// GPGPU-Sim configured as an NVIDIA Kepler K20c, both dynamic-parallelism
+// launch models (CUDA Dynamic Parallelism device kernels and Dynamic Thread
+// Block Launch TB groups), the baseline round-robin thread-block scheduler,
+// the three LaPerm scheduling policies, the eight irregular benchmarks of
+// the paper's Table II, and the analyses behind every table and figure of
+// its evaluation.
+//
+// This package is the public facade: it re-exports the library's main types
+// and constructors so downstream users need a single import. The
+// implementation lives under internal/ (see DESIGN.md for the full module
+// map):
+//
+//	internal/config   Table I machine description
+//	internal/isa      abstract warp ISA and program builders
+//	internal/mem      L1/L2/DRAM hierarchy with MSHRs and hashing
+//	internal/smx      streaming multiprocessor and warp schedulers
+//	internal/gpu      KMU/KDU, launch paths, engine loop
+//	internal/core     the TB schedulers (the paper's contribution)
+//	internal/graph    CSR substrate and synthetic graph inputs
+//	internal/kernels  Table II workload generators
+//	internal/metrics  shared-footprint analysis (Figure 2)
+//	internal/exp      per-figure experiment runners
+//
+// # Quick start
+//
+//	cfg := laperm.KeplerK20c()
+//	sim := laperm.NewSimulator(laperm.SimOptions{
+//		Config:    &cfg,
+//		Scheduler: laperm.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels),
+//		Model:     laperm.DTBL,
+//	})
+//	w, _ := laperm.WorkloadByName("bfs-citation")
+//	sim.LaunchHost(w.Build(laperm.ScaleSmall))
+//	res, err := sim.Run()
+package laperm
+
+import (
+	"laperm/internal/config"
+	"laperm/internal/core"
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+	"laperm/internal/kernels"
+	"laperm/internal/metrics"
+)
+
+// Re-exported core types. The aliases make the internal implementation
+// types usable from outside the module through this package.
+type (
+	// Config is the architectural configuration of the simulated GPU.
+	Config = config.GPU
+	// Model selects the dynamic-parallelism launch mechanism.
+	Model = gpu.Model
+	// Scheduler is a thread-block scheduling policy.
+	Scheduler = gpu.TBScheduler
+	// SimOptions configures a Simulator.
+	SimOptions = gpu.Options
+	// Simulator owns one end-to-end simulation.
+	Simulator = gpu.Simulator
+	// Result is the outcome of one simulation run.
+	Result = gpu.Result
+	// Kernel is a grid of thread-block programs.
+	Kernel = isa.Kernel
+	// TBBuilder assembles one thread block's program.
+	TBBuilder = isa.TBBuilder
+	// KernelBuilder assembles a grid.
+	KernelBuilder = isa.KernelBuilder
+	// Workload is one (application, input) pair of the evaluation.
+	Workload = kernels.Workload
+	// Scale selects workload size.
+	Scale = kernels.Scale
+	// FootprintStats is the Figure 2 shared-footprint measurement.
+	FootprintStats = metrics.FootprintStats
+	// ExpOptions configures an experiment run.
+	ExpOptions = exp.Options
+	// Experiment is one regenerable table or figure.
+	Experiment = exp.Experiment
+)
+
+// Dynamic-parallelism models.
+const (
+	// CDP launches children as device kernels through the KMU and KDU.
+	CDP = gpu.CDP
+	// DTBL launches children as lightweight thread-block groups.
+	DTBL = gpu.DTBL
+)
+
+// Workload scales.
+const (
+	ScaleTiny   = kernels.ScaleTiny
+	ScaleSmall  = kernels.ScaleSmall
+	ScaleMedium = kernels.ScaleMedium
+)
+
+// KeplerK20c returns the Table I baseline configuration.
+func KeplerK20c() Config { return config.KeplerK20c() }
+
+// NewSimulator builds a simulator; see gpu.New.
+func NewSimulator(opts SimOptions) *Simulator { return gpu.New(opts) }
+
+// NewTB returns a builder for a thread block with the given thread count.
+func NewTB(threads int) *TBBuilder { return isa.NewTB(threads) }
+
+// NewKernel returns a builder for a named grid.
+func NewKernel(name string) *KernelBuilder { return isa.NewKernel(name) }
+
+// NewRoundRobin returns the baseline round-robin TB scheduler.
+func NewRoundRobin() Scheduler { return core.NewRoundRobin() }
+
+// NewTBPri returns the TB Prioritizing scheduler (Section IV-A).
+func NewTBPri(maxLevels int) Scheduler { return core.NewTBPri(maxLevels) }
+
+// NewSMXBind returns the Prioritized SMX Binding scheduler (Section IV-B).
+func NewSMXBind(numSMX, maxLevels int) Scheduler { return core.NewSMXBind(numSMX, maxLevels) }
+
+// NewAdaptiveBind returns the Adaptive Prioritized SMX Binding scheduler
+// (Section IV-C).
+func NewAdaptiveBind(numSMX, maxLevels int) Scheduler {
+	return core.NewAdaptiveBind(numSMX, maxLevels)
+}
+
+// NewScheduler builds a scheduler by its evaluation name ("rr", "tb-pri",
+// "smx-bind", "adaptive-bind").
+func NewScheduler(name string, cfg *Config) (Scheduler, error) {
+	return exp.NewScheduler(name, cfg)
+}
+
+// Workloads returns every Table II workload.
+func Workloads() []Workload { return kernels.All() }
+
+// WorkloadByName returns the named Table II workload.
+func WorkloadByName(name string) (Workload, bool) { return kernels.ByName(name) }
+
+// AnalyzeFootprint computes the Section III-A shared-footprint ratios for a
+// workload program.
+func AnalyzeFootprint(name string, k *Kernel) FootprintStats {
+	return metrics.AnalyzeFootprint(name, k)
+}
+
+// Experiments returns the per-table/figure experiment runners.
+func Experiments() []Experiment { return exp.All() }

@@ -1,0 +1,87 @@
+package laperm_test
+
+import (
+	"testing"
+
+	"laperm"
+)
+
+// TestFacadeEndToEnd drives the whole stack through the public facade only:
+// build a workload, simulate it under the baseline and under LaPerm, and
+// check the locality win.
+func TestFacadeEndToEnd(t *testing.T) {
+	run := func(mk func(cfg *laperm.Config) laperm.Scheduler) *laperm.Result {
+		cfg := laperm.KeplerK20c()
+		// Shrink the machine so the tiny workload still queues.
+		cfg.NumSMX = 4
+		cfg.TBsPerSMX = 4
+		sim := laperm.NewSimulator(laperm.SimOptions{
+			Config:    &cfg,
+			Scheduler: mk(&cfg),
+			Model:     laperm.DTBL,
+		})
+		w, ok := laperm.WorkloadByName("bfs-citation")
+		if !ok {
+			t.Fatal("bfs-citation not registered")
+		}
+		sim.LaunchHost(w.Build(laperm.ScaleTiny))
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	rr := run(func(cfg *laperm.Config) laperm.Scheduler { return laperm.NewRoundRobin() })
+	ab := run(func(cfg *laperm.Config) laperm.Scheduler {
+		return laperm.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels)
+	})
+
+	if rr.BlockCount != ab.BlockCount {
+		t.Fatalf("schedulers executed different work: %d vs %d TBs", rr.BlockCount, ab.BlockCount)
+	}
+	if ab.AvgChildWait >= rr.AvgChildWait {
+		t.Errorf("LaPerm child wait %.0f should be below RR's %.0f", ab.AvgChildWait, rr.AvgChildWait)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	child := laperm.NewKernel("child").Add(
+		laperm.NewTB(64).LoadSeq(0, 4).Compute(8).Build(),
+	).Build()
+	parent := laperm.NewKernel("parent").Add(
+		laperm.NewTB(64).LoadSeq(0, 4).Launch(0, child).Build(),
+	).Build()
+	if err := parent.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := laperm.AnalyzeFootprint("toy", parent)
+	if st.ParentChild != 1.0 {
+		t.Errorf("toy parent-child ratio = %f, want 1 (child footprint subset of parent)", st.ParentChild)
+	}
+}
+
+func TestFacadeSchedulerFactory(t *testing.T) {
+	cfg := laperm.KeplerK20c()
+	for _, name := range []string{"rr", "tb-pri", "smx-bind", "adaptive-bind"} {
+		s, err := laperm.NewScheduler(name, &cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("got %q", s.Name())
+		}
+	}
+	if _, err := laperm.NewScheduler("nope", &cfg); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestFacadeInventories(t *testing.T) {
+	if n := len(laperm.Workloads()); n != 16 {
+		t.Errorf("workloads = %d, want 16", n)
+	}
+	if n := len(laperm.Experiments()); n != 14 {
+		t.Errorf("experiments = %d, want 14", n)
+	}
+}

@@ -1,0 +1,94 @@
+package laperm_test
+
+import (
+	"testing"
+
+	"laperm/internal/config"
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+// shapeConfig is the reduced machine used by the shape-regression tests:
+// small enough that the tiny workloads queue for several waves.
+func shapeConfig() *config.GPU {
+	g := config.SmallTest()
+	g.NumSMX = 4
+	g.TBsPerSMX = 4
+	return &g
+}
+
+// TestHeadlineShape pins the paper's qualitative result on a reduced
+// machine (deterministic, so exact reproducibility makes this a stable
+// regression test): under DTBL, Adaptive-Bind beats the RR baseline on a
+// locality-rich workload, with lower child queueing delay and no lost work.
+func TestHeadlineShape(t *testing.T) {
+	opt := exp.Options{Scale: kernels.ScaleTiny, Config: shapeConfig()}
+	w, ok := kernels.ByName("bfs-citation")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	rr, err := exp.RunOne(w, gpu.DTBL, "rr", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := exp.RunOne(w, gpu.DTBL, "adaptive-bind", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.ThreadInsts != rr.ThreadInsts {
+		t.Fatalf("different work: %d vs %d", ab.ThreadInsts, rr.ThreadInsts)
+	}
+	if ab.IPC < rr.IPC {
+		t.Errorf("Adaptive-Bind IPC %.2f below RR %.2f", ab.IPC, rr.IPC)
+	}
+	if ab.AvgChildWait >= rr.AvgChildWait {
+		t.Errorf("Adaptive-Bind child wait %.0f not below RR %.0f", ab.AvgChildWait, rr.AvgChildWait)
+	}
+}
+
+// TestCDPBenefitsLessThanDTBL pins the models' ordering: the same scheduler
+// change helps DTBL at least as much as CDP (the KDU limit and launch
+// latency throttle CDP, Section IV-C).
+func TestCDPBenefitsLessThanDTBL(t *testing.T) {
+	opt := exp.Options{Scale: kernels.ScaleTiny, Config: shapeConfig()}
+	w, _ := kernels.ByName("bfs-citation")
+	speedup := func(model gpu.Model) float64 {
+		rr, err := exp.RunOne(w, model, "rr", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := exp.RunOne(w, model, "adaptive-bind", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ab.IPC / rr.IPC
+	}
+	cdp, dtbl := speedup(gpu.CDP), speedup(gpu.DTBL)
+	if dtbl < cdp-0.02 { // allow a little slack, but DTBL must not lose badly
+		t.Errorf("DTBL speedup %.3f well below CDP %.3f", dtbl, cdp)
+	}
+}
+
+// TestAdaptiveRecoversSMXBindLoss pins the Section IV-C story on the
+// imbalanced gaussian join: Adaptive-Bind's IPC is at least SMX-Bind's, and
+// its SMX imbalance is no worse.
+func TestAdaptiveRecoversSMXBindLoss(t *testing.T) {
+	opt := exp.Options{Scale: kernels.ScaleTiny, Config: shapeConfig()}
+	w, _ := kernels.ByName("join-gaussian")
+	sb, err := exp.RunOne(w, gpu.DTBL, "smx-bind", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := exp.RunOne(w, gpu.DTBL, "adaptive-bind", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.IPC < sb.IPC {
+		t.Errorf("Adaptive-Bind IPC %.2f below SMX-Bind %.2f", ab.IPC, sb.IPC)
+	}
+	if ab.LoadImbalance > sb.LoadImbalance {
+		t.Errorf("Adaptive-Bind imbalance %.3f above SMX-Bind %.3f",
+			ab.LoadImbalance, sb.LoadImbalance)
+	}
+}
