@@ -211,8 +211,10 @@ func BenchmarkFigC_PriorityLevels(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		sim := gpu.New(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL})
-		sim.LaunchHost(exp.NestedWorkload().Build(kernels.ScaleTiny))
+		sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL})
+		if err := sim.LaunchHost(exp.NestedWorkload().Build(kernels.ScaleTiny)); err != nil {
+			b.Fatal(err)
+		}
 		res, err := sim.Run()
 		if err != nil {
 			b.Fatal(err)

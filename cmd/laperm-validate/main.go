@@ -59,7 +59,7 @@ func main() {
 
 		// Binding invariant under SMX-Bind.
 		violations := 0
-		sim := gpu.New(gpu.Options{
+		sim, err := gpu.New(gpu.Options{
 			Config:    &cfg,
 			Scheduler: core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels),
 			Model:     gpu.DTBL,
@@ -69,7 +69,16 @@ func main() {
 				}
 			},
 		})
-		sim.LaunchHost(w.Build(sc))
+		if err != nil {
+			fmt.Printf("FAIL %-14s smx-bind setup: %v\n", w.Name, err)
+			failures++
+			continue
+		}
+		if err := sim.LaunchHost(w.Build(sc)); err != nil {
+			fmt.Printf("FAIL %-14s smx-bind launch: %v\n", w.Name, err)
+			failures++
+			continue
+		}
 		if _, err := sim.Run(); err != nil {
 			fmt.Printf("FAIL %-14s smx-bind trace run: %v\n", w.Name, err)
 			ok = false

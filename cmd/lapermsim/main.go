@@ -75,9 +75,17 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.NewRecorder()
 		opts.TraceDispatch = rec.DispatchHook()
+		opts.TraceQueue = rec.QueueHook()
 	}
-	sim := gpu.New(opts)
-	sim.LaunchHost(w.Build(sc))
+	sim, err := gpu.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := sim.LaunchHost(w.Build(sc)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -11,13 +11,20 @@ import (
 // statistics. (Output is machine-shaped, so it is not pinned here.)
 func Example() {
 	cfg := laperm.KeplerK20c()
-	sim := laperm.NewSimulator(laperm.SimOptions{
+	sim, err := laperm.NewSimulator(laperm.SimOptions{
 		Config:    &cfg,
 		Scheduler: laperm.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels),
 		Model:     laperm.DTBL,
 	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	w, _ := laperm.WorkloadByName("bfs-citation")
-	sim.LaunchHost(w.Build(laperm.ScaleTiny))
+	if err := sim.LaunchHost(w.Build(laperm.ScaleTiny)); err != nil {
+		fmt.Println(err)
+		return
+	}
 	res, err := sim.Run()
 	if err != nil {
 		fmt.Println(err)

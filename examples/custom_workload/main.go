@@ -116,8 +116,13 @@ func main() {
 		},
 	} {
 		cfg := config.KeplerK20c()
-		sim := gpu.New(gpu.Options{Config: &cfg, Scheduler: mk(&cfg), Model: gpu.DTBL})
-		sim.LaunchHost(buildSpMV())
+		sim, err := gpu.New(gpu.Options{Config: &cfg, Scheduler: mk(&cfg), Model: gpu.DTBL})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.LaunchHost(buildSpMV()); err != nil {
+			log.Fatal(err)
+		}
 		res, err := sim.Run()
 		if err != nil {
 			log.Fatal(err)

@@ -27,13 +27,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sim := gpu.New(gpu.Options{
+		sim, err := gpu.New(gpu.Options{
 			Config:      &cfg,
 			Scheduler:   sched,
 			Model:       gpu.DTBL,
 			SampleEvery: 10_000,
 		})
-		sim.LaunchHost(w.Build(kernels.ScaleSmall))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.LaunchHost(w.Build(kernels.ScaleSmall)); err != nil {
+			log.Fatal(err)
+		}
 		res, err := sim.Run()
 		if err != nil {
 			log.Fatal(err)

@@ -139,12 +139,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sim := gpu.New(gpu.Options{Config: &cfg, Scheduler: sched, Model: gpu.DTBL})
+		sim, err := gpu.New(gpu.Options{Config: &cfg, Scheduler: sched, Model: gpu.DTBL})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for li, frontier := range frontiers {
 			if len(frontier) == 0 {
 				continue
 			}
-			sim.LaunchHost(levelKernel(g, frontier, li))
+			if err := sim.LaunchHost(levelKernel(g, frontier, li)); err != nil {
+				log.Fatal(err)
+			}
 		}
 		res, err := sim.Run()
 		if err != nil {

@@ -39,12 +39,17 @@ func buildWorkload() *isa.Kernel {
 
 func run(sched gpu.TBScheduler) *gpu.Result {
 	cfg := config.KeplerK20c()
-	sim := gpu.New(gpu.Options{
+	sim, err := gpu.New(gpu.Options{
 		Config:    &cfg,
 		Scheduler: sched,
 		Model:     gpu.DTBL,
 	})
-	sim.LaunchHost(buildWorkload())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.LaunchHost(buildWorkload()); err != nil {
+		log.Fatal(err)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		log.Fatal(err)

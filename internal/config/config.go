@@ -19,6 +19,34 @@ const WarpSize = 32
 // Section III-A also counts references in units of 128-byte blocks.
 const LineSize = 128
 
+// OverflowPolicy selects what happens when a device-side launch finds its
+// launch queue (the KMU pending pool or the DTBL aggregation buffer) full.
+type OverflowPolicy int
+
+const (
+	// StallWarp is the hardware-faithful default: the launching warp
+	// stalls and retries the launch instruction every cycle until an
+	// entry frees up, exerting backpressure on the parent kernel.
+	StallWarp OverflowPolicy = iota
+	// DropToKMU applies to DTBL only: a TB-group launch that finds the
+	// aggregation buffer full falls back to the CDP device-kernel path
+	// (KMU -> KDU), paying the full CDP launch latency. This mirrors the
+	// DTBL fallback where groups that cannot be coalesced are demoted to
+	// ordinary device kernels.
+	DropToKMU
+)
+
+// String returns the policy name.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case StallWarp:
+		return "stall-warp"
+	case DropToKMU:
+		return "drop-to-kmu"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+}
+
 // GPU holds every architectural parameter of the simulated device.
 //
 // The zero value is not usable; start from KeplerK20c and override fields,
@@ -100,6 +128,23 @@ type GPU struct {
 	// TBDispatchPerCycle is how many TBs the SMX scheduler may dispatch
 	// per cycle (Section II-B: one TB per cycle).
 	TBDispatchPerCycle int
+
+	// KMUPendingCapacity bounds the KMU pending-kernel pool: device-side
+	// kernel launches that have executed but not yet been moved into a
+	// KDU entry (in-flight launch latency plus the KMU queues). CUDA's
+	// default device pending-launch count is 2048 grids; a warp whose
+	// launch finds the pool full stalls until an entry frees. 0 means
+	// unbounded. Host-launched kernels do not consume pool entries.
+	KMUPendingCapacity int
+	// DTBLAggBufferEntries bounds the DTBL aggregation buffer: TB groups
+	// that have been launched but whose thread blocks have not all been
+	// dispatched yet. A full buffer triggers DTBLOverflowPolicy. 0 means
+	// unbounded.
+	DTBLAggBufferEntries int
+	// DTBLOverflowPolicy selects the behaviour of a DTBL launch that
+	// finds the aggregation buffer full: StallWarp (default) or
+	// DropToKMU.
+	DTBLOverflowPolicy OverflowPolicy
 }
 
 // KeplerK20c returns the baseline configuration of Table I.
@@ -130,6 +175,15 @@ func KeplerK20c() GPU {
 		CDPLaunchLatency:       5000,
 		DTBLLaunchLatency:      75,
 		TBDispatchPerCycle:     1,
+		KMUPendingCapacity:     2048,
+		DTBLAggBufferEntries:   1024,
+		// DropToKMU in the baked configurations: deeply nested workloads
+		// can fill the aggregation buffer with TB groups that are waiting
+		// for SMX space held by their stalled parents, which under
+		// StallWarp is a genuine scheduling deadlock (the watchdog reports
+		// it). The DTBL fallback demotes the overflow to the kernel path
+		// instead, trading launch latency for guaranteed progress.
+		DTBLOverflowPolicy: DropToKMU,
 	}
 }
 
@@ -149,6 +203,13 @@ func SmallTest() GPU {
 	g.L2Banks = 2
 	g.CDPLaunchLatency = 500
 	g.DTBLLaunchLatency = 20
+	// The KMU pending pool (2048) is inherited, not downscaled: under CDP
+	// with StallWarp semantics a pool smaller than a workload's peak live
+	// kernel count can wedge the machine (parents hold every TB slot while
+	// stalled on the full pool), and several small-scale benchmarks carry
+	// hundreds of concurrent children. Only the aggregation buffer shrinks;
+	// its DropToKMU fallback always makes progress.
+	g.DTBLAggBufferEntries = 128
 	return g
 }
 
@@ -197,6 +258,10 @@ func (g *GPU) Validate() error {
 		{g.CDPLaunchLatency >= 0, "CDPLaunchLatency must be non-negative"},
 		{g.DTBLLaunchLatency >= 0, "DTBLLaunchLatency must be non-negative"},
 		{g.TBDispatchPerCycle > 0, "TBDispatchPerCycle must be positive"},
+		{g.KMUPendingCapacity >= 0, "KMUPendingCapacity must be non-negative (0 = unbounded)"},
+		{g.DTBLAggBufferEntries >= 0, "DTBLAggBufferEntries must be non-negative (0 = unbounded)"},
+		{g.DTBLOverflowPolicy == StallWarp || g.DTBLOverflowPolicy == DropToKMU,
+			"DTBLOverflowPolicy must be StallWarp or DropToKMU"},
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -90,6 +90,9 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		{"zero dispatch rate", func(g *GPU) { g.TBDispatchPerCycle = 0 }},
 		{"indivisible L1", func(g *GPU) { g.L1Bytes = 1000 }},
 		{"indivisible L2", func(g *GPU) { g.L2Bytes = 100000 }},
+		{"negative KMU pool", func(g *GPU) { g.KMUPendingCapacity = -1 }},
+		{"negative agg buffer", func(g *GPU) { g.DTBLAggBufferEntries = -1 }},
+		{"unknown overflow policy", func(g *GPU) { g.DTBLOverflowPolicy = OverflowPolicy(9) }},
 	}
 	for _, m := range mutations {
 		g := KeplerK20c()
@@ -97,6 +100,26 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		if err := g.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted a broken config", m.name)
 		}
+	}
+}
+
+func TestLaunchPoolDefaults(t *testing.T) {
+	g := KeplerK20c()
+	if g.KMUPendingCapacity != 2048 {
+		t.Errorf("KMUPendingCapacity = %d, want 2048 (CUDA default pending launch count)", g.KMUPendingCapacity)
+	}
+	if g.DTBLAggBufferEntries <= 0 {
+		t.Errorf("DTBLAggBufferEntries = %d, want bounded by default", g.DTBLAggBufferEntries)
+	}
+	if g.DTBLOverflowPolicy != DropToKMU {
+		t.Errorf("DTBLOverflowPolicy = %v, want DropToKMU in the baked config", g.DTBLOverflowPolicy)
+	}
+	var zero GPU
+	if zero.DTBLOverflowPolicy != StallWarp {
+		t.Errorf("zero-value policy = %v, want StallWarp (hardware-faithful default)", zero.DTBLOverflowPolicy)
+	}
+	if StallWarp.String() != "stall-warp" || DropToKMU.String() != "drop-to-kmu" {
+		t.Error("OverflowPolicy names wrong")
 	}
 }
 

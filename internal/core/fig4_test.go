@@ -60,7 +60,7 @@ func runFig4(t *testing.T, sched gpu.TBScheduler) ([]dispatchRecord, *gpu.Simula
 	}
 
 	var trace []dispatchRecord
-	sim := gpu.New(gpu.Options{
+	sim := gpu.MustNew(gpu.Options{
 		Config:    fig4Config(),
 		Scheduler: sched,
 		Model:     gpu.DTBL,
@@ -68,7 +68,9 @@ func runFig4(t *testing.T, sched gpu.TBScheduler) ([]dispatchRecord, *gpu.Simula
 			trace = append(trace, dispatchRecord{kernel: ki.Prog.Name, tb: tbIndex, smx: smxID, cycle: cycle})
 		},
 	})
-	sim.LaunchHost(kb.Build())
+	if err := sim.LaunchHost(kb.Build()); err != nil {
+		t.Fatalf("fig4 launch: %v", err)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		t.Fatalf("fig4 run: %v", err)

@@ -75,7 +75,7 @@ func runTraced(t *testing.T, k *isa.Kernel, mk func(cfg *config.GPU) gpu.TBSched
 	t.Helper()
 	cfg := config.SmallTest()
 	var events []dispatchEvent
-	sim := gpu.New(gpu.Options{
+	sim := gpu.MustNew(gpu.Options{
 		Config:    &cfg,
 		Scheduler: mk(&cfg),
 		Model:     model,
@@ -83,7 +83,9 @@ func runTraced(t *testing.T, k *isa.Kernel, mk func(cfg *config.GPU) gpu.TBSched
 			events = append(events, dispatchEvent{ki, tbIndex, smxID, cycle})
 		},
 	})
-	sim.LaunchHost(k)
+	if err := sim.LaunchHost(k); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -187,7 +189,7 @@ func TestBindingInvariantOnRandomWorkloads(t *testing.T) {
 		cfg := config.SmallTest()
 		ab := core.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels)
 		var strayed int64
-		sim := gpu.New(gpu.Options{
+		sim := gpu.MustNew(gpu.Options{
 			Config:    &cfg,
 			Scheduler: ab,
 			Model:     gpu.DTBL,
@@ -197,7 +199,9 @@ func TestBindingInvariantOnRandomWorkloads(t *testing.T) {
 				}
 			},
 		})
-		sim.LaunchHost(k)
+		if err := sim.LaunchHost(k); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := sim.Run(); err != nil {
 			t.Fatal(err)
 		}

@@ -204,8 +204,13 @@ func runThrottle(o Options, w io.Writer) error {
 				return err
 			}
 			sched := core.NewThrottled(inner, cap)
-			sim := gpu.New(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL})
-			sim.LaunchHost(wk.Build(o.Scale))
+			sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL})
+			if err != nil {
+				return err
+			}
+			if err := sim.LaunchHost(wk.Build(o.Scale)); err != nil {
+				return err
+			}
 			res, err := sim.Run()
 			if err != nil {
 				return err
@@ -242,8 +247,13 @@ func runBackup(o Options, w io.Writer) error {
 			cfg := o.config()
 			ab := core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels)
 			ab.FreeBackup = free
-			sim := gpu.New(gpu.Options{Config: cfg, Scheduler: ab, Model: gpu.DTBL})
-			sim.LaunchHost(wk.Build(o.Scale))
+			sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: ab, Model: gpu.DTBL})
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := sim.LaunchHost(wk.Build(o.Scale)); err != nil {
+				return nil, 0, err
+			}
 			res, err := sim.Run()
 			return res, ab.Steals, err
 		}

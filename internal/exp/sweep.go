@@ -31,8 +31,13 @@ func RunOne(w kernels.Workload, model gpu.Model, sched string, o Options) (*gpu.
 	if err != nil {
 		return nil, err
 	}
-	sim := gpu.New(gpu.Options{Config: cfg, Scheduler: s, Model: model, WarpPolicy: o.WarpPolicy})
-	sim.LaunchHost(w.Build(o.Scale))
+	sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: s, Model: model, WarpPolicy: o.WarpPolicy})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
+	}
+	if err := sim.LaunchHost(w.Build(o.Scale)); err != nil {
+		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)

@@ -1,0 +1,112 @@
+package gpu
+
+import "fmt"
+
+// The invariant auditor. With Options.Audit set, the engine validates its
+// resource accounting against a recomputation from first principles at
+// every sample and watchdog tick and once at completion, replacing the old
+// scattered panic()-style checks with a structured *InvariantError that
+// carries a state dump. The checks cover:
+//
+//   - per-SMX occupancy (threads, registers, shared memory, TB slots,
+//     warp lists) via smx.CheckInvariants;
+//   - KMU queue counters vs the actual queue contents;
+//   - KDU entry accounting vs the set of incomplete KDU kernels;
+//   - the live-kernel count vs the instance list;
+//   - bounded launch-pool occupancy (KMU pending pool, DTBL aggregation
+//     buffer) vs the per-instance entry flags, and their capacities;
+//   - per-instance TB counters (dispatched/done vs grid size).
+
+// invariant wraps a failed check into an *InvariantError with the engine
+// state dump attached.
+func (s *Simulator) invariant(check, detail string) error {
+	return &InvariantError{
+		Cycle:  s.now,
+		Check:  check,
+		Detail: detail,
+		State:  s.stateDump(),
+	}
+}
+
+// stateDump summarises the engine counters on one line.
+func (s *Simulator) stateDump() string {
+	resident := 0
+	for _, x := range s.smxs {
+		resident += x.ResidentBlocks()
+	}
+	return fmt.Sprintf("cycle=%d live=%d kernels=%d arrivals=%d kmuCount=%d kduUsed=%d kmuPool=%d/%d agg=%d/%d residentTBs=%d",
+		s.now, s.live, len(s.kernels), s.pendingArrivals(), s.kmuCount, s.kduUsed,
+		s.kmuInFlight, s.cfg.KMUPendingCapacity, s.aggUsed, s.cfg.DTBLAggBufferEntries, resident)
+}
+
+// runAudit validates every engine invariant, returning an *InvariantError
+// describing the first violation.
+func (s *Simulator) runAudit() error {
+	for _, x := range s.smxs {
+		if err := x.CheckInvariants(); err != nil {
+			return s.invariant("smx-occupancy", err.Error())
+		}
+	}
+
+	queued := 0
+	for p := range s.kmuQueue {
+		queued += s.kmuQueue[p].len()
+	}
+	if queued != s.kmuCount {
+		return s.invariant("kmu-count",
+			fmt.Sprintf("kmuCount %d but queues hold %d", s.kmuCount, queued))
+	}
+
+	var live, kdu, poolKMU, poolAgg int
+	for _, ki := range s.kernels {
+		if ki.NextTB < 0 || ki.NextTB > len(ki.Prog.TBs) {
+			return s.invariant("tb-cursor",
+				fmt.Sprintf("kernel %d NextTB %d of %d TBs", ki.ID, ki.NextTB, len(ki.Prog.TBs)))
+		}
+		if ki.DoneTBs < 0 || ki.DoneTBs > ki.NextTB {
+			return s.invariant("tb-done",
+				fmt.Sprintf("kernel %d DoneTBs %d exceeds dispatched %d", ki.ID, ki.DoneTBs, ki.NextTB))
+		}
+		if !ki.Complete() {
+			live++
+			if ki.usesKDU {
+				kdu++
+			}
+		}
+		if ki.poolKMU {
+			poolKMU++
+		}
+		if ki.poolAgg {
+			poolAgg++
+		}
+	}
+	if live != s.live {
+		return s.invariant("live-count",
+			fmt.Sprintf("live counter %d but %d instances incomplete", s.live, live))
+	}
+	if kdu != s.kduUsed {
+		return s.invariant("kdu-count",
+			fmt.Sprintf("kduUsed %d but %d incomplete kernels hold KDU entries", s.kduUsed, kdu))
+	}
+	if s.kduUsed > s.cfg.MaxConcurrentKernels {
+		return s.invariant("kdu-capacity",
+			fmt.Sprintf("kduUsed %d exceeds the %d KDU entries", s.kduUsed, s.cfg.MaxConcurrentKernels))
+	}
+	if poolKMU != s.kmuInFlight {
+		return s.invariant("kmu-pool",
+			fmt.Sprintf("kmuInFlight %d but %d instances hold pool entries", s.kmuInFlight, poolKMU))
+	}
+	if poolAgg != s.aggUsed {
+		return s.invariant("agg-pool",
+			fmt.Sprintf("aggUsed %d but %d instances hold buffer entries", s.aggUsed, poolAgg))
+	}
+	if c := s.cfg.KMUPendingCapacity; c > 0 && s.kmuInFlight > c {
+		return s.invariant("kmu-pool-capacity",
+			fmt.Sprintf("kmuInFlight %d exceeds capacity %d", s.kmuInFlight, c))
+	}
+	if c := s.cfg.DTBLAggBufferEntries; c > 0 && s.aggUsed > c {
+		return s.invariant("agg-pool-capacity",
+			fmt.Sprintf("aggUsed %d exceeds capacity %d", s.aggUsed, c))
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package gpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines the structured error taxonomy of the hardened engine.
+// Run returns exactly one of:
+//
+//   - *DeadlockError    — the forward-progress watchdog found a scheduling
+//     deadlock: live work exists but nothing moved for a full watchdog
+//     window.
+//   - *InvariantError   — the invariant auditor (or an engine-internal
+//     check) found corrupted state: resource accounting, queue counters,
+//     or a scheduler contract violation.
+//   - *CycleLimitError  — the run exceeded MaxCycles without deadlocking
+//     (a runaway workload or an undersized limit).
+//   - a plain error     — usage errors (Run called twice, nothing to run).
+
+// StuckKernel describes one incomplete kernel instance inside a
+// DeadlockError, with enough context to see why it cannot make progress.
+type StuckKernel struct {
+	// ID, Name and Priority identify the instance.
+	ID       int
+	Name     string
+	Priority int
+	// BoundSMX is the SMX the instance is bound to (-1 for host kernels).
+	BoundSMX int
+	// Dispatched and Done count thread blocks against Total.
+	Dispatched, Done, Total int
+	// Where locates the instance on the launch path: "in-flight" (launch
+	// latency not yet elapsed), "kmu" (waiting for a KDU entry),
+	// "distributor" (visible to the TB scheduler, nothing dispatched),
+	// "partially-dispatched", or "executing".
+	Where string
+}
+
+func (k StuckKernel) String() string {
+	return fmt.Sprintf("kernel %d %q (prio %d, smx %d, %d/%d dispatched, %d done) %s",
+		k.ID, k.Name, k.Priority, k.BoundSMX, k.Dispatched, k.Total, k.Done, k.Where)
+}
+
+// DeadlockError reports that the forward-progress watchdog observed a full
+// window with live work but no progress: no arrival delivered, no kernel
+// moved to the KDU, no thread block dispatched or retired, no instruction
+// issued, and no memory traffic.
+type DeadlockError struct {
+	// Cycle is when the watchdog fired; Window is the progress-free span.
+	Cycle  uint64
+	Window uint64
+	// Live counts incomplete kernel instances; KMUQueued those waiting at
+	// the KMU; KDUUsed the occupied KDU entries.
+	Live      int
+	KMUQueued int
+	KDUUsed   int
+	// QueueDepths is the per-priority-level KMU queue occupancy.
+	QueueDepths []int
+	// Stuck lists incomplete kernel instances (capped; TotalStuck is the
+	// full count).
+	Stuck      []StuckKernel
+	TotalStuck int
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gpu: deadlock at cycle %d: no forward progress for %d cycles (%d kernels live, %d at KMU, %d KDU entries used)",
+		e.Cycle, e.Window, e.Live, e.KMUQueued, e.KDUUsed)
+	for _, k := range e.Stuck {
+		fmt.Fprintf(&b, "\n  stuck: %s", k)
+	}
+	if e.TotalStuck > len(e.Stuck) {
+		fmt.Fprintf(&b, "\n  ... and %d more", e.TotalStuck-len(e.Stuck))
+	}
+	return b.String()
+}
+
+// InvariantError reports corrupted engine state found by the invariant
+// auditor or an engine-internal consistency check.
+type InvariantError struct {
+	// Cycle is when the violation was detected.
+	Cycle uint64
+	// Check names the failed invariant; Detail describes the mismatch.
+	Check  string
+	Detail string
+	// State is a one-line dump of the engine counters at failure.
+	State string
+}
+
+func (e *InvariantError) Error() string {
+	s := fmt.Sprintf("gpu: invariant %q violated at cycle %d: %s", e.Check, e.Cycle, e.Detail)
+	if e.State != "" {
+		s += " [" + e.State + "]"
+	}
+	return s
+}
+
+// CycleLimitError reports that the simulation exceeded MaxCycles while
+// still making progress (the watchdog had not fired).
+type CycleLimitError struct {
+	MaxCycles       uint64
+	Live            int
+	PendingArrivals int
+	KMUQueued       int
+}
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("gpu: simulation exceeded %d cycles (%d kernels live, %d arrivals, %d at KMU)",
+		e.MaxCycles, e.Live, e.PendingArrivals, e.KMUQueued)
+}

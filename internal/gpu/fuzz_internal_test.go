@@ -1,0 +1,93 @@
+package gpu
+
+import (
+	"testing"
+)
+
+// FuzzKMUFIFO drives push/pop sequences through the amortised head-cursor
+// queue and cross-checks every observable against a trivial reference
+// implementation, so the head-compaction path cannot silently reorder, drop,
+// or duplicate entries.
+func FuzzKMUFIFO(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1})
+	// Long alternating runs push the head cursor past compactThreshold.
+	long := make([]byte, 512)
+	for i := range long {
+		long[i] = byte(i % 2)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q kmuFIFO
+		var ref []*KernelInstance
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				ki := &KernelInstance{ID: next}
+				next++
+				q.push(ki)
+				ref = append(ref, ki)
+			} else {
+				got := q.pop()
+				if len(ref) == 0 {
+					if got != nil {
+						t.Fatalf("pop on empty queue returned kernel %d", got.ID)
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if got == nil {
+					t.Fatalf("pop returned nil, want kernel %d", want.ID)
+				}
+				if got != want {
+					t.Fatalf("pop returned kernel %d, want %d (FIFO order broken)", got.ID, want.ID)
+				}
+			}
+			if q.len() != len(ref) {
+				t.Fatalf("len() = %d, reference %d", q.len(), len(ref))
+			}
+			if q.empty() != (len(ref) == 0) {
+				t.Fatalf("empty() = %v with %d queued", q.empty(), len(ref))
+			}
+			// The compaction contract: the head cursor never runs away
+			// from the live region, so the backing array stays within a
+			// constant factor of the queue's true size.
+			if q.head >= compactThreshold && q.head*2 >= len(q.items) && q.len() > 0 {
+				t.Fatalf("head %d / backing %d escaped compaction", q.head, len(q.items))
+			}
+			// Every slot behind the head must have been nil'd for GC.
+			for i := 0; i < q.head; i++ {
+				if q.items[i] != nil {
+					t.Fatalf("popped slot %d retains kernel %d", i, q.items[i].ID)
+				}
+			}
+		}
+	})
+}
+
+// FuzzArrivalOrdering checks the sorted-insert used when DropToKMU demotions
+// mix the two launch latencies: arrivals must stay nondecreasing in
+// ArriveCycle from the head cursor onward.
+func FuzzArrivalOrdering(f *testing.F) {
+	f.Add([]byte{10, 200, 10, 10, 200, 30})
+	f.Fuzz(func(t *testing.T, lat []byte) {
+		if len(lat) > 256 {
+			t.Skip("bounded input")
+		}
+		s := &Simulator{}
+		for i, l := range lat {
+			s.insertArrival(&KernelInstance{ID: i, ArriveCycle: uint64(l)})
+		}
+		for i := s.arrHead + 1; i < len(s.arrivals); i++ {
+			if s.arrivals[i-1].ArriveCycle > s.arrivals[i].ArriveCycle {
+				t.Fatalf("arrivals unsorted at %d: %d > %d",
+					i, s.arrivals[i-1].ArriveCycle, s.arrivals[i].ArriveCycle)
+			}
+		}
+		if len(s.arrivals) != len(lat) {
+			t.Fatalf("inserted %d, stored %d", len(lat), len(s.arrivals))
+		}
+	})
+}

@@ -9,6 +9,14 @@
 // TBScheduler implementation) dispatches thread blocks from KDU kernels to
 // the SMXs; each SMX can issue new launches back to the KMU (CDP) or
 // coalesce TB groups straight onto the distributor (DTBL).
+//
+// The engine is hardened for long unattended runs: the device launch paths
+// have finite capacities with warp-level backpressure (config
+// KMUPendingCapacity / DTBLAggBufferEntries), a forward-progress watchdog
+// turns scheduling deadlocks into a structured *DeadlockError instead of
+// spinning to MaxCycles, and an optional invariant auditor (Options.Audit)
+// validates resource accounting during the run. See errors.go for the
+// error taxonomy.
 package gpu
 
 import (
@@ -80,6 +88,13 @@ type KernelInstance struct {
 
 	dispatchedAny bool
 	usesKDU       bool
+	// viaKMU routes the arrival: true for host kernels, CDP children,
+	// and DTBL children demoted by the DropToKMU overflow policy.
+	viaKMU bool
+	// poolKMU / poolAgg mark a held entry in the bounded KMU pending
+	// pool / DTBL aggregation buffer.
+	poolKMU bool
+	poolAgg bool
 }
 
 // Exhausted reports whether every thread block has been dispatched.
@@ -121,6 +136,31 @@ type TBScheduler interface {
 	Select(d Dispatcher) (*KernelInstance, int)
 }
 
+// QueueEventKind labels a backpressure episode on the device launch path.
+type QueueEventKind int
+
+const (
+	// QueueStall: a warp's launch found its queue full and stalled (one
+	// event per episode, not per retry cycle).
+	QueueStall QueueEventKind = iota
+	// QueueOverflow: a DTBL launch found the aggregation buffer full and
+	// was demoted to the KMU path (DropToKMU policy).
+	QueueOverflow
+)
+
+// QueueEvent describes one backpressure episode for Options.TraceQueue.
+type QueueEvent struct {
+	Kind  QueueEventKind
+	Cycle uint64
+	// SMX is the launching SMX; Parent the launching instance; Child the
+	// grid whose launch stalled or overflowed.
+	SMX    int
+	Parent *KernelInstance
+	Child  *isa.Kernel
+	// Queue names the full queue: "kmu" or "agg".
+	Queue string
+}
+
 // Options configures a Simulator.
 type Options struct {
 	Config    *config.GPU
@@ -134,14 +174,34 @@ type Options struct {
 	// the kernel instance, the TB index within it, the target SMX, and
 	// the cycle. Tests and the footprint analyses use it.
 	TraceDispatch func(ki *KernelInstance, tbIndex, smxID int, cycle uint64)
+	// TraceQueue, when non-nil, observes launch-queue backpressure
+	// episodes (stalls and overflows).
+	TraceQueue func(ev QueueEvent)
 	// SampleEvery, when non-zero, records a timeline Sample (windowed
 	// IPC, cache hit rates, occupancy) every that many cycles.
 	SampleEvery uint64
+	// WatchdogInterval is how often the forward-progress watchdog
+	// compares progress snapshots; 0 means DefaultWatchdogInterval. Set
+	// NoWatchdog to disable it entirely.
+	WatchdogInterval uint64
+	NoWatchdog       bool
+	// Audit enables the invariant auditor: resource accounting, queue
+	// counters, and live-kernel bookkeeping are validated at every
+	// sample and watchdog tick (and once at completion), and Run returns
+	// an *InvariantError on the first violation.
+	Audit bool
 }
 
 // DefaultMaxCycles is the runaway-simulation guard used when Options leaves
 // MaxCycles at zero.
 const DefaultMaxCycles = 50_000_000
+
+// DefaultWatchdogInterval is the forward-progress check period used when
+// Options leaves WatchdogInterval at zero. It is comfortably above every
+// architectural latency (the longest, the CDP launch latency, is thousands
+// of cycles), so a progress-free window of this length is a genuine
+// deadlock rather than a long-latency wait.
+const DefaultWatchdogInterval = 50_000
 
 // Simulator owns one end-to-end simulation.
 type Simulator struct {
@@ -154,73 +214,120 @@ type Simulator struct {
 
 	now uint64
 	// arrivals holds launched instances waiting out their launch
-	// latency. Launch latency is uniform per run, so ArriveCycle is
-	// nondecreasing and arrHead walks the slice without refiltering.
+	// latency. Launch latency is uniform per launch path, but DropToKMU
+	// demotions pay the (longer) CDP latency, so ArriveCycle is kept
+	// sorted by insertion point; arrHead walks the slice without
+	// refiltering.
 	arrivals []*KernelInstance
 	arrHead  int
+	// delivered counts arrivals handed to the KMU or scheduler, for the
+	// watchdog's progress vector.
+	delivered uint64
 	// kmuQueue holds instances at the KMU waiting for a KDU entry, one
 	// FIFO per priority level (highest level dispatches first), each
 	// with a head cursor.
 	kmuQueue  []kmuFIFO
 	kmuCount  int
 	kduUsed   int
+	kduFilled uint64 // cumulative KMU->KDU moves (watchdog progress)
 	live      int
 	kernels   []*KernelInstance // every instance ever created
 	nextID    int
 	maxCycles uint64
 	trace     func(ki *KernelInstance, tbIndex, smxID int, cycle uint64)
+	traceQ    func(ev QueueEvent)
+
+	// Bounded launch-path state. kmuInFlight counts device launches
+	// holding a KMU pending-pool entry (in arrivals or KMU queues);
+	// aggUsed counts DTBL groups holding an aggregation-buffer entry
+	// (launched, not yet fully dispatched).
+	kmuInFlight int
+	aggUsed     int
+	peakKMU     int
+	peakAgg     int
+	// Backpressure counters surfaced in Result.
+	launchStallCycles   uint64
+	launchStallEpisodes int64
+	queueOverflows      int64
+	tbsDispatched       uint64
 
 	sampleEvery uint64
 	samples     []Sample
 	lastSample  sampleBase
 
+	watchdogEvery uint64
+	lastProgress  progressVec
+	audit         bool
+
 	hostPending []*isa.Kernel
 	ran         bool
 }
 
-// New builds a simulator. It panics on an invalid configuration or a nil
-// scheduler, since both are programming errors.
-func New(opts Options) *Simulator {
+// New builds a simulator. It returns an error on a missing or invalid
+// configuration or a nil scheduler. MustNew panics instead, for tests and
+// known-good configurations.
+func New(opts Options) (*Simulator, error) {
 	if opts.Config == nil {
-		panic("gpu: Options.Config is required")
+		return nil, fmt.Errorf("gpu: Options.Config is required")
 	}
 	if err := opts.Config.Validate(); err != nil {
-		panic(fmt.Sprintf("gpu: %v", err))
+		return nil, fmt.Errorf("gpu: %w", err)
 	}
 	if opts.Scheduler == nil {
-		panic("gpu: Options.Scheduler is required")
+		return nil, fmt.Errorf("gpu: Options.Scheduler is required")
 	}
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
 	}
+	watchdog := opts.WatchdogInterval
+	if watchdog == 0 {
+		watchdog = DefaultWatchdogInterval
+	}
+	if opts.NoWatchdog {
+		watchdog = 0
+	}
 	s := &Simulator{
-		cfg:         opts.Config,
-		model:       opts.Model,
-		sched:       opts.Scheduler,
-		memsys:      mem.NewSystem(opts.Config),
-		maxCycles:   maxCycles,
-		trace:       opts.TraceDispatch,
-		sampleEvery: opts.SampleEvery,
+		cfg:           opts.Config,
+		model:         opts.Model,
+		sched:         opts.Scheduler,
+		memsys:        mem.NewSystem(opts.Config),
+		maxCycles:     maxCycles,
+		trace:         opts.TraceDispatch,
+		traceQ:        opts.TraceQueue,
+		sampleEvery:   opts.SampleEvery,
+		watchdogEvery: watchdog,
+		audit:         opts.Audit,
 	}
 	s.kmuQueue = make([]kmuFIFO, opts.Config.MaxPriorityLevels+1)
 	s.smxs = make([]*smx.SMX, opts.Config.NumSMX)
 	for i := range s.smxs {
 		s.smxs[i] = smx.New(i, opts.Config, s.memsys, s, opts.WarpPolicy, &s.seq)
 	}
+	return s, nil
+}
+
+// MustNew builds a simulator, panicking on the errors New reports.
+func MustNew(opts Options) *Simulator {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
 // LaunchHost queues a host-side kernel launch, available to the KMU at
-// cycle 0. It must be called before Run.
-func (s *Simulator) LaunchHost(k *isa.Kernel) {
+// cycle 0. It must be called before Run; host kernels do not consume
+// device launch-pool entries.
+func (s *Simulator) LaunchHost(k *isa.Kernel) error {
 	if s.ran {
-		panic("gpu: LaunchHost after Run")
+		return fmt.Errorf("gpu: LaunchHost after Run")
 	}
 	if err := k.Validate(); err != nil {
-		panic(fmt.Sprintf("gpu: invalid kernel: %v", err))
+		return fmt.Errorf("gpu: invalid kernel: %w", err)
 	}
 	s.hostPending = append(s.hostPending, k)
+	return nil
 }
 
 // NumSMX implements Dispatcher.
@@ -235,15 +342,33 @@ func (s *Simulator) ResidentTBs(smxID int) int { return s.smxs[smxID].ResidentBl
 // Cycle implements Dispatcher.
 func (s *Simulator) Cycle() uint64 { return s.now }
 
-// Launch implements smx.Events: a warp executed a device-side launch.
-func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint64) {
+// Launch implements smx.Events: a warp executed a device-side launch. It
+// returns false — stalling the warp — when the launch path's bounded queue
+// is full under the StallWarp policy; under DropToKMU a DTBL launch that
+// finds the aggregation buffer full is demoted to the KMU path instead.
+func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint64, retry bool) bool {
 	parent := b.Owner.(*KernelInstance)
+	viaAgg := s.model == DTBL
+	demoted := false
+	if viaAgg && s.cfg.DTBLAggBufferEntries > 0 && s.aggUsed >= s.cfg.DTBLAggBufferEntries {
+		if s.cfg.DTBLOverflowPolicy == config.DropToKMU {
+			viaAgg, demoted = false, true
+		} else {
+			s.noteStall(smxID, parent, child, retry, "agg")
+			return false
+		}
+	}
+	if !viaAgg && s.cfg.KMUPendingCapacity > 0 && s.kmuInFlight >= s.cfg.KMUPendingCapacity {
+		s.noteStall(smxID, parent, child, retry, "kmu")
+		return false
+	}
+
 	prio := parent.Priority + 1
 	if prio > s.cfg.MaxPriorityLevels {
 		prio = s.cfg.MaxPriorityLevels
 	}
 	latency := s.cfg.CDPLaunchLatency
-	if s.model == DTBL {
+	if viaAgg {
 		latency = s.cfg.DTBLLaunchLatency
 	}
 	ki := &KernelInstance{
@@ -254,11 +379,57 @@ func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint6
 		Parent:      parent,
 		LaunchCycle: now,
 		ArriveCycle: now + uint64(latency),
+		viaKMU:      !viaAgg,
+	}
+	if viaAgg {
+		ki.poolAgg = true
+		s.aggUsed++
+		if s.aggUsed > s.peakAgg {
+			s.peakAgg = s.aggUsed
+		}
+	} else {
+		ki.poolKMU = true
+		s.kmuInFlight++
+		if s.kmuInFlight > s.peakKMU {
+			s.peakKMU = s.kmuInFlight
+		}
+	}
+	if demoted {
+		s.queueOverflows++
+		if s.traceQ != nil {
+			s.traceQ(QueueEvent{Kind: QueueOverflow, Cycle: now, SMX: smxID,
+				Parent: parent, Child: child, Queue: "agg"})
+		}
 	}
 	s.nextID++
 	s.live++
 	s.kernels = append(s.kernels, ki)
+	s.insertArrival(ki)
+	return true
+}
+
+// noteStall accounts one stalled launch cycle, emitting a trace event at
+// the start of each episode.
+func (s *Simulator) noteStall(smxID int, parent *KernelInstance, child *isa.Kernel, retry bool, queue string) {
+	s.launchStallCycles++
+	if !retry {
+		s.launchStallEpisodes++
+		if s.traceQ != nil {
+			s.traceQ(QueueEvent{Kind: QueueStall, Cycle: s.now, SMX: smxID,
+				Parent: parent, Child: child, Queue: queue})
+		}
+	}
+}
+
+// insertArrival appends ki keeping arrivals sorted by ArriveCycle. With a
+// single launch path the slice is naturally sorted; DropToKMU demotions mix
+// the two latencies, so later entries may need to shift by a few slots.
+func (s *Simulator) insertArrival(ki *KernelInstance) {
 	s.arrivals = append(s.arrivals, ki)
+	for i := len(s.arrivals) - 1; i > s.arrHead && s.arrivals[i-1].ArriveCycle > ki.ArriveCycle; i-- {
+		s.arrivals[i] = s.arrivals[i-1]
+		s.arrivals[i-1] = ki
+	}
 }
 
 // BlockDone implements smx.Events: a thread block retired.
@@ -273,6 +444,11 @@ func (s *Simulator) BlockDone(smxID int, b *smx.Block, now uint64) {
 		}
 	}
 }
+
+// compactThreshold is the head-cursor depth past which the amortised queues
+// copy their live tail down, so backing arrays do not grow without bound
+// under steady launch pressure that never fully drains them.
+const compactThreshold = 64
 
 // kmuFIFO is one priority level's KMU queue with an amortised head cursor.
 type kmuFIFO struct {
@@ -292,33 +468,57 @@ func (q *kmuFIFO) pop() *KernelInstance {
 	if q.head == len(q.items) {
 		q.items = q.items[:0]
 		q.head = 0
+	} else if q.head >= compactThreshold && q.head*2 >= len(q.items) {
+		q.compact()
 	}
 	return ki
 }
 
+// compact shifts the live entries to the front of the backing array and
+// nils the vacated tail so popped instances become collectable.
+func (q *kmuFIFO) compact() {
+	n := copy(q.items, q.items[q.head:])
+	for i := n; i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = q.items[:n]
+	q.head = 0
+}
+
+func (q *kmuFIFO) len() int { return len(q.items) - q.head }
+
 func (q *kmuFIFO) empty() bool { return q.head >= len(q.items) }
 
 // deliverArrivals moves launches whose latency has elapsed to the KMU (CDP
-// and host kernels) or directly to the TB scheduler (DTBL TB groups, which
-// are coalesced onto the distributor and always visible).
+// and host kernels, plus demoted DTBL groups) or directly to the TB
+// scheduler (DTBL TB groups, which are coalesced onto the distributor and
+// always visible).
 func (s *Simulator) deliverArrivals() {
 	for s.arrHead < len(s.arrivals) && s.arrivals[s.arrHead].ArriveCycle <= s.now {
 		ki := s.arrivals[s.arrHead]
 		s.arrivals[s.arrHead] = nil
 		s.arrHead++
-		if s.model == DTBL && ki.Parent != nil {
-			s.sched.Enqueue(ki)
-		} else {
+		s.delivered++
+		if ki.viaKMU {
 			p := ki.Priority
 			if p >= len(s.kmuQueue) {
 				p = len(s.kmuQueue) - 1
 			}
 			s.kmuQueue[p].push(ki)
 			s.kmuCount++
+		} else {
+			s.sched.Enqueue(ki)
 		}
 	}
 	if s.arrHead == len(s.arrivals) {
 		s.arrivals = s.arrivals[:0]
+		s.arrHead = 0
+	} else if s.arrHead >= compactThreshold && s.arrHead*2 >= len(s.arrivals) {
+		n := copy(s.arrivals, s.arrivals[s.arrHead:])
+		for i := n; i < len(s.arrivals); i++ {
+			s.arrivals[i] = nil
+		}
+		s.arrivals = s.arrivals[:n]
 		s.arrHead = 0
 	}
 }
@@ -330,8 +530,9 @@ func (s *Simulator) pendingArrivals() int { return len(s.arrivals) - s.arrHead }
 // first (FCFS within a priority level), as the prioritized kernel launch
 // extension of Section IV-A requires. For the baseline RR scheduler every
 // kernel has the same effective behaviour as plain FCFS since host kernels
-// and CDP children arrive in launch order within a level.
-func (s *Simulator) kmuDispatch() {
+// and CDP children arrive in launch order within a level. Moving a device
+// kernel into the KDU releases its KMU pending-pool entry.
+func (s *Simulator) kmuDispatch() error {
 	for s.kduUsed < s.cfg.MaxConcurrentKernels && s.kmuCount > 0 {
 		var ki *KernelInstance
 		for p := len(s.kmuQueue) - 1; p >= 0; p-- {
@@ -340,48 +541,67 @@ func (s *Simulator) kmuDispatch() {
 			}
 		}
 		if ki == nil {
-			panic("gpu: kmuCount out of sync with queues")
+			return s.invariant("kmu-count",
+				fmt.Sprintf("kmuCount %d but every priority queue is empty", s.kmuCount))
 		}
 		s.kmuCount--
+		if ki.poolKMU {
+			ki.poolKMU = false
+			s.kmuInFlight--
+		}
 		ki.usesKDU = true
 		s.kduUsed++
+		s.kduFilled++
 		s.sched.Enqueue(ki)
 	}
+	return nil
 }
 
-// tbDispatch runs the TB scheduler for this cycle's dispatch slots.
-func (s *Simulator) tbDispatch() {
+// tbDispatch runs the TB scheduler for this cycle's dispatch slots. A DTBL
+// group's aggregation-buffer entry is released when its last thread block
+// dispatches.
+func (s *Simulator) tbDispatch() error {
 	for slot := 0; slot < s.cfg.TBDispatchPerCycle; slot++ {
 		ki, smxID := s.sched.Select(s)
 		if ki == nil {
-			return
+			return nil
 		}
 		if ki.Exhausted() {
-			panic(fmt.Sprintf("gpu: scheduler %s selected exhausted kernel %d", s.sched.Name(), ki.ID))
+			return s.invariant("scheduler-contract",
+				fmt.Sprintf("scheduler %s selected exhausted kernel %d", s.sched.Name(), ki.ID))
 		}
 		tb := ki.PeekTB()
 		if !s.smxs[smxID].CanFit(tb) {
-			panic(fmt.Sprintf("gpu: scheduler %s selected SMX %d without room", s.sched.Name(), smxID))
+			return s.invariant("scheduler-contract",
+				fmt.Sprintf("scheduler %s selected SMX %d without room for kernel %d", s.sched.Name(), smxID, ki.ID))
 		}
 		if s.trace != nil {
 			s.trace(ki, ki.NextTB, smxID, s.now)
 		}
 		ki.NextTB++
+		s.tbsDispatched++
+		if ki.Exhausted() && ki.poolAgg {
+			ki.poolAgg = false
+			s.aggUsed--
+		}
 		if !ki.dispatchedAny {
 			ki.dispatchedAny = true
 			ki.FirstDispatchCycle = s.now
 		}
 		s.smxs[smxID].AddBlock(tb, ki, s.now)
 	}
+	return nil
 }
 
 func (s *Simulator) done() bool {
 	return s.live == 0 && s.pendingArrivals() == 0 && s.kmuCount == 0
 }
 
-// Run executes the simulation to completion and returns the result. It
-// returns an error if the cycle guard is hit (a scheduling deadlock or a
-// runaway workload).
+// Run executes the simulation to completion and returns the result. On
+// failure it returns one of the structured errors documented in errors.go:
+// *DeadlockError when the watchdog finds a progress-free window,
+// *InvariantError when auditing detects corrupted state, and
+// *CycleLimitError when the MaxCycles guard is hit.
 func (s *Simulator) Run() (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("gpu: Run called twice")
@@ -389,7 +609,7 @@ func (s *Simulator) Run() (*Result, error) {
 	s.ran = true
 	// Host kernels materialise as instances at cycle 0.
 	for _, k := range s.hostPending {
-		ki := &KernelInstance{ID: s.nextID, Prog: k, BoundSMX: -1}
+		ki := &KernelInstance{ID: s.nextID, Prog: k, BoundSMX: -1, viaKMU: true}
 		s.nextID++
 		s.live++
 		s.kernels = append(s.kernels, ki)
@@ -398,24 +618,53 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.live == 0 {
 		return nil, fmt.Errorf("gpu: nothing to run; call LaunchHost first")
 	}
+	s.lastProgress = s.progress()
 
 	for ; s.now < s.maxCycles; s.now++ {
 		s.deliverArrivals()
-		s.kmuDispatch()
-		s.tbDispatch()
+		if err := s.kmuDispatch(); err != nil {
+			return nil, err
+		}
+		if err := s.tbDispatch(); err != nil {
+			return nil, err
+		}
 		for _, x := range s.smxs {
 			x.Tick(s.now)
 		}
 		if s.sampleEvery > 0 && s.now > 0 && s.now%s.sampleEvery == 0 {
 			s.takeSample()
+			if s.audit {
+				if err := s.runAudit(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if s.watchdogEvery > 0 && s.now > 0 && s.now%s.watchdogEvery == 0 {
+			if err := s.watchdogCheck(); err != nil {
+				return nil, err
+			}
+			if s.audit {
+				if err := s.runAudit(); err != nil {
+					return nil, err
+				}
+			}
 		}
 		if s.done() {
 			s.now++
+			if s.audit {
+				if err := s.runAudit(); err != nil {
+					return nil, err
+				}
+			}
 			return s.result(), nil
 		}
 	}
-	return nil, fmt.Errorf("gpu: simulation exceeded %d cycles (%d kernels live, %d arrivals, %d at KMU)",
-		s.maxCycles, s.live, s.pendingArrivals(), s.kmuCount)
+	return nil, &CycleLimitError{
+		MaxCycles:       s.maxCycles,
+		Live:            s.live,
+		PendingArrivals: s.pendingArrivals(),
+		KMUQueued:       s.kmuCount,
+	}
 }
 
 // Kernels returns every kernel instance created during the run, in creation

@@ -1,6 +1,7 @@
 package gpu_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -49,15 +50,22 @@ func launchingKernel(nParents, childTBs int) *isa.Kernel {
 
 func run(t *testing.T, opts gpu.Options, kernels ...*isa.Kernel) *gpu.Result {
 	t.Helper()
-	sim := gpu.New(opts)
+	sim := gpu.MustNew(opts)
 	for _, k := range kernels {
-		sim.LaunchHost(k)
+		mustLaunch(t, sim, k)
 	}
 	res, err := sim.Run()
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	return res
+}
+
+func mustLaunch(t *testing.T, sim *gpu.Simulator, k *isa.Kernel) {
+	t.Helper()
+	if err := sim.LaunchHost(k); err != nil {
+		t.Fatalf("LaunchHost: %v", err)
+	}
 }
 
 func TestSimpleKernelCompletes(t *testing.T) {
@@ -166,8 +174,8 @@ func TestNestedLaunchPriorityClamp(t *testing.T) {
 	inner := isa.NewKernel("inner").Add(isa.NewTB(32).Launch(0, mid).Build()).Build()
 	root := isa.NewKernel("root").Add(isa.NewTB(32).Launch(0, inner).Build()).Build()
 
-	sim := gpu.New(gpu.Options{Config: cfg, Scheduler: core.NewTBPri(cfg.MaxPriorityLevels), Model: gpu.DTBL})
-	sim.LaunchHost(root)
+	sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: core.NewTBPri(cfg.MaxPriorityLevels), Model: gpu.DTBL})
+	mustLaunch(t, sim, root)
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -209,54 +217,58 @@ func TestTraceDispatchObservesEveryTB(t *testing.T) {
 }
 
 func TestRunGuards(t *testing.T) {
-	sim := gpu.New(gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin()})
+	sim := gpu.MustNew(gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin()})
 	if _, err := sim.Run(); err == nil {
 		t.Error("Run with no kernels should error")
 	}
 	if _, err := sim.Run(); err == nil {
 		t.Error("second Run should error")
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("LaunchHost after Run should panic")
-			}
-		}()
-		sim.LaunchHost(simpleKernel("late", 1))
-	}()
+	if err := sim.LaunchHost(simpleKernel("late", 1)); err == nil {
+		t.Error("LaunchHost after Run should error")
+	}
 }
 
 func TestMaxCyclesGuard(t *testing.T) {
-	sim := gpu.New(gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin(), MaxCycles: 10})
-	sim.LaunchHost(simpleKernel("k", 8))
-	if _, err := sim.Run(); err == nil || !strings.Contains(err.Error(), "exceeded") {
+	sim := gpu.MustNew(gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin(), MaxCycles: 10})
+	mustLaunch(t, sim, simpleKernel("k", 8))
+	_, err := sim.Run()
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
 		t.Errorf("expected cycle-guard error, got %v", err)
+	}
+	var cle *gpu.CycleLimitError
+	if !errors.As(err, &cle) {
+		t.Fatalf("error is %T, want *gpu.CycleLimitError", err)
+	}
+	if cle.MaxCycles != 10 {
+		t.Errorf("CycleLimitError.MaxCycles = %d, want 10", cle.MaxCycles)
 	}
 }
 
-func TestNewPanics(t *testing.T) {
+func TestNewErrors(t *testing.T) {
 	for name, opts := range map[string]gpu.Options{
 		"nil config":    {Scheduler: core.NewRoundRobin()},
 		"nil scheduler": {Config: smallCfg()},
+		"bad config": {Config: &config.GPU{NumSMX: -1},
+			Scheduler: core.NewRoundRobin()},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: New did not panic", name)
-				}
-			}()
-			gpu.New(opts)
-		}()
+		if _, err := gpu.New(opts); err == nil {
+			t.Errorf("%s: New returned nil error", name)
+		}
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("invalid kernel: LaunchHost did not panic")
-			}
-		}()
-		sim := gpu.New(gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin()})
-		sim.LaunchHost(&isa.Kernel{Name: "bad", TBs: []*isa.TB{{Threads: 0}}})
+	sim := gpu.MustNew(gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin()})
+	if err := sim.LaunchHost(&isa.Kernel{Name: "bad", TBs: []*isa.TB{{Threads: 0}}}); err == nil {
+		t.Error("invalid kernel: LaunchHost returned nil error")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with nil scheduler did not panic")
+		}
 	}()
+	gpu.MustNew(gpu.Options{Config: smallCfg()})
 }
 
 func TestModelString(t *testing.T) {
@@ -296,8 +308,8 @@ func TestAllSchedulersCompleteAllModels(t *testing.T) {
 func TestKernelTimestamps(t *testing.T) {
 	cfg := smallCfg()
 	cfg.DTBLLaunchLatency = 50
-	sim := gpu.New(gpu.Options{Config: cfg, Scheduler: core.NewRoundRobin(), Model: gpu.DTBL})
-	sim.LaunchHost(launchingKernel(2, 2))
+	sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: core.NewRoundRobin(), Model: gpu.DTBL})
+	mustLaunch(t, sim, launchingKernel(2, 2))
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +351,7 @@ func TestKMUPriorityOrdering(t *testing.T) {
 	}
 
 	var order []string
-	sim := gpu.New(gpu.Options{
+	sim := gpu.MustNew(gpu.Options{
 		Config:    cfg,
 		Scheduler: core.NewTBPri(cfg.MaxPriorityLevels),
 		Model:     gpu.CDP,
@@ -347,7 +359,7 @@ func TestKMUPriorityOrdering(t *testing.T) {
 			order = append(order, ki.Prog.Name)
 		},
 	})
-	sim.LaunchHost(kb.Build())
+	mustLaunch(t, sim, kb.Build())
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -380,13 +392,13 @@ func TestKMUPriorityOrdering(t *testing.T) {
 
 func TestTimelineSampling(t *testing.T) {
 	cfg := smallCfg()
-	sim := gpu.New(gpu.Options{
+	sim := gpu.MustNew(gpu.Options{
 		Config:      cfg,
 		Scheduler:   core.NewRoundRobin(),
 		Model:       gpu.DTBL,
 		SampleEvery: 100,
 	})
-	sim.LaunchHost(launchingKernel(8, 3))
+	mustLaunch(t, sim, launchingKernel(8, 3))
 	res, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -440,7 +452,7 @@ func TestClusteredMachineEndToEnd(t *testing.T) {
 	cfg.SMXsPerCluster = 2
 	parentSMX := make(map[*gpu.KernelInstance]int)
 	var violations int
-	sim := gpu.New(gpu.Options{
+	sim := gpu.MustNew(gpu.Options{
 		Config:    cfg,
 		Scheduler: core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels),
 		Model:     gpu.DTBL,
@@ -454,7 +466,7 @@ func TestClusteredMachineEndToEnd(t *testing.T) {
 			}
 		},
 	})
-	sim.LaunchHost(launchingKernel(8, 2))
+	mustLaunch(t, sim, launchingKernel(8, 2))
 	res, err := sim.Run()
 	if err != nil {
 		t.Fatal(err)

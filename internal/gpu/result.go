@@ -63,6 +63,19 @@ type Result struct {
 	// (resident) cycles: 0 for perfectly balanced SMXs.
 	LoadImbalance float64
 
+	// LaunchStallCycles counts warp-cycles spent stalled on a full launch
+	// queue (KMU pending pool or DTBL aggregation buffer), and
+	// LaunchStallEpisodes the distinct stall episodes behind them.
+	LaunchStallCycles   uint64
+	LaunchStallEpisodes int64
+	// QueueOverflows counts DTBL launches demoted to the KMU path by the
+	// DropToKMU overflow policy.
+	QueueOverflows int64
+	// PeakKMUPending and PeakAggEntries are high-water marks of the
+	// bounded launch pools, for sizing capacities.
+	PeakKMUPending int
+	PeakAggEntries int
+
 	// Samples is the run timeline when Options.SampleEvery was set.
 	Samples []Sample
 }
@@ -107,6 +120,12 @@ func (s *Simulator) result() *Result {
 		L2:        s.memsys.L2Total(),
 
 		DRAMTransactions: s.memsys.DRAMTransactions(),
+
+		LaunchStallCycles:   s.launchStallCycles,
+		LaunchStallEpisodes: s.launchStallEpisodes,
+		QueueOverflows:      s.queueOverflows,
+		PeakKMUPending:      s.peakKMU,
+		PeakAggEntries:      s.peakAgg,
 	}
 	r.SMXStats = make([]smx.Stats, len(s.smxs))
 	for i, x := range s.smxs {
@@ -162,10 +181,15 @@ func imbalance(stats []smx.Stats) float64 {
 
 // String summarises the result on a few lines.
 func (r *Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"%s/%s: %d cycles, IPC %.2f, L1 %.1f%%, L2 %.1f%%, %d kernels (%d dynamic), %d TBs, child wait %.0f cyc, imbalance %.3f",
 		r.Scheduler, r.Model, r.Cycles, r.IPC,
 		100*r.L1.HitRate(), 100*r.L2.HitRate(),
 		r.KernelCount, r.DynamicKernelCount, r.BlockCount,
 		r.AvgChildWait, r.LoadImbalance)
+	if r.LaunchStallCycles > 0 || r.QueueOverflows > 0 {
+		s += fmt.Sprintf(", launch backpressure %d stall cyc / %d overflows",
+			r.LaunchStallCycles, r.QueueOverflows)
+	}
+	return s
 }

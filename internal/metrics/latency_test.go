@@ -69,8 +69,10 @@ func TestAnalyzeChildLatencyEndToEnd(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		kb.Add(isa.NewTB(32).Compute(2).Launch(0, child).Compute(50).Build())
 	}
-	sim := gpu.New(gpu.Options{Config: &cfg, Scheduler: core.NewRoundRobin(), Model: gpu.DTBL})
-	sim.LaunchHost(kb.Build())
+	sim := gpu.MustNew(gpu.Options{Config: &cfg, Scheduler: core.NewRoundRobin(), Model: gpu.DTBL})
+	if err := sim.LaunchHost(kb.Build()); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -97,8 +99,10 @@ func TestAnalyzeChildLatencyEndToEnd(t *testing.T) {
 func TestAnalyzeChildLatencySkipsHostKernels(t *testing.T) {
 	cfg := config.SmallTest()
 	k := isa.NewKernel("plain").Add(isa.NewTB(32).Compute(1).Build()).Build()
-	sim := gpu.New(gpu.Options{Config: &cfg, Scheduler: core.NewRoundRobin()})
-	sim.LaunchHost(k)
+	sim := gpu.MustNew(gpu.Options{Config: &cfg, Scheduler: core.NewRoundRobin()})
+	if err := sim.LaunchHost(k); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -122,8 +126,10 @@ func TestQueueingDelayShrinksUnderLaPerm(t *testing.T) {
 	}
 	delay := func(mk func(cfg *config.GPU) gpu.TBScheduler) float64 {
 		cfg := config.SmallTest()
-		sim := gpu.New(gpu.Options{Config: &cfg, Scheduler: mk(&cfg), Model: gpu.DTBL})
-		sim.LaunchHost(build())
+		sim := gpu.MustNew(gpu.Options{Config: &cfg, Scheduler: mk(&cfg), Model: gpu.DTBL})
+		if err := sim.LaunchHost(build()); err != nil {
+			t.Fatal(err)
+		}
 		if _, err := sim.Run(); err != nil {
 			t.Fatal(err)
 		}

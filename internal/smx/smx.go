@@ -51,8 +51,11 @@ func (p Policy) String() string {
 // Events receives notifications from an SMX. The GPU engine implements it.
 type Events interface {
 	// Launch is invoked when a warp executes a device-side launch
-	// instruction.
-	Launch(smxID int, b *Block, child *isa.Kernel, now uint64)
+	// instruction. It returns false when the launch queue (KMU pending
+	// pool or DTBL aggregation buffer) is full and the warp must stall
+	// and retry next cycle; retry marks such a reissue of a previously
+	// stalled launch.
+	Launch(smxID int, b *Block, child *isa.Kernel, now uint64, retry bool) bool
 	// BlockDone is invoked when every warp of a resident block has
 	// retired and its resources have been freed.
 	BlockDone(smxID int, b *Block, now uint64)
@@ -92,6 +95,9 @@ type warp struct {
 	pendingMax uint64
 	atBarrier  bool
 	done       bool
+	// launchStalled marks a warp blocked at a launch instruction by a
+	// full launch queue; it retries the launch every cycle.
+	launchStalled bool
 }
 
 func (w *warp) stream() []isa.Inst { return w.block.Prog.Warps[w.idx] }
@@ -117,6 +123,9 @@ type Stats struct {
 	// MemStallEvents counts cycles a warp spent blocked on a full MSHR
 	// table.
 	MemStallEvents int64
+	// LaunchStallEvents counts cycles a warp spent blocked on a full
+	// launch queue (KMU pending pool or DTBL aggregation buffer).
+	LaunchStallEvents int64
 }
 
 // SMX is one streaming multiprocessor.
@@ -319,7 +328,15 @@ func (s *SMX) issue(w *warp, now uint64) bool {
 		s.releaseBarrier(w.block, now)
 		return true
 	case isa.OpLaunch:
-		s.events.Launch(s.ID, w.block, w.block.Prog.Launches[in.Launch], now)
+		if !s.events.Launch(s.ID, w.block, w.block.Prog.Launches[in.Launch], now, w.launchStalled) {
+			// Launch queue full: stall the warp and retry next
+			// cycle (backpressure on the parent kernel).
+			w.launchStalled = true
+			w.readyAt = now + 1
+			s.stats.LaunchStallEvents++
+			return false
+		}
+		w.launchStalled = false
 		w.readyAt = now + 1
 		s.count(in)
 		s.advance(w, now)
@@ -426,6 +443,63 @@ func (s *SMX) retire(b *Block, now uint64) {
 	s.stats.BlocksCompleted++
 	s.needSweep = true
 	s.events.BlockDone(s.ID, b, now)
+}
+
+// PendingWork reports whether the SMX holds work that will make progress on
+// its own: a warp that can issue or is waiting out an instruction latency,
+// or a block draining its final in-flight instructions. Warps stalled at a
+// launch and warps parked at a barrier are excluded — their release depends
+// on the engine (or on other warps) unblocking them, so they must not mask
+// a scheduling deadlock from the forward-progress watchdog.
+func (s *SMX) PendingWork() bool {
+	for _, w := range s.warps {
+		if !w.done && !w.atBarrier && !w.launchStalled {
+			return true
+		}
+	}
+	return len(s.retiring) > 0
+}
+
+// CheckInvariants validates the SMX's resource accounting against a
+// recomputation from its resident blocks, returning a descriptive error on
+// the first inconsistency. The engine's invariant auditor calls it
+// periodically when auditing is enabled.
+func (s *SMX) CheckInvariants() error {
+	var threads, regs, shmem, liveWarps int
+	for _, b := range s.blocks {
+		if b.dead && !s.needSweep {
+			return fmt.Errorf("smx %d: dead block (seq %d) still resident after sweep", s.ID, b.Seq)
+		}
+		if b.dead {
+			continue
+		}
+		threads += b.Prog.Threads
+		regs += b.Prog.Registers()
+		shmem += b.Prog.SharedMemBytes
+		liveWarps += len(b.warps)
+		if b.doneWarps < 0 || b.doneWarps > len(b.warps) {
+			return fmt.Errorf("smx %d: block (seq %d) doneWarps %d of %d warps", s.ID, b.Seq, b.doneWarps, len(b.warps))
+		}
+		if b.arrived > len(b.warps)-b.doneWarps {
+			return fmt.Errorf("smx %d: block (seq %d) has %d warps at barrier, only %d live", s.ID, b.Seq, b.arrived, len(b.warps)-b.doneWarps)
+		}
+	}
+	if threads != s.usedThreads || regs != s.usedRegs || shmem != s.usedShmem {
+		return fmt.Errorf("smx %d: accounted (threads %d, regs %d, shmem %d) != recomputed (%d, %d, %d)",
+			s.ID, s.usedThreads, s.usedRegs, s.usedShmem, threads, regs, shmem)
+	}
+	if s.usedThreads > s.cfg.ThreadsPerSMX || s.usedRegs > s.cfg.RegistersPerSMX || s.usedShmem > s.cfg.SharedMemPerSMX {
+		return fmt.Errorf("smx %d: occupancy (threads %d, regs %d, shmem %d) exceeds limits (%d, %d, %d)",
+			s.ID, s.usedThreads, s.usedRegs, s.usedShmem,
+			s.cfg.ThreadsPerSMX, s.cfg.RegistersPerSMX, s.cfg.SharedMemPerSMX)
+	}
+	if len(s.blocks) > s.cfg.TBsPerSMX {
+		return fmt.Errorf("smx %d: %d resident blocks exceed the %d-TB limit", s.ID, len(s.blocks), s.cfg.TBsPerSMX)
+	}
+	if !s.needSweep && liveWarps != len(s.warps) {
+		return fmt.Errorf("smx %d: %d warps in issue list, blocks hold %d", s.ID, len(s.warps), liveWarps)
+	}
+	return nil
 }
 
 // sweep removes dead blocks and their warps from the issue lists.

@@ -8,17 +8,29 @@ import (
 	"laperm/internal/mem"
 )
 
-// recorder implements Events and records notifications.
+// recorder implements Events and records notifications. refuse, when
+// positive, rejects that many launches first (simulating a full launch
+// queue); retries counts reissues of stalled launches.
 type recorder struct {
 	launches []*isa.Kernel
 	launchBy []int
 	done     []*Block
 	doneAt   []uint64
+	refuse   int
+	retries  int
 }
 
-func (r *recorder) Launch(smxID int, b *Block, child *isa.Kernel, now uint64) {
+func (r *recorder) Launch(smxID int, b *Block, child *isa.Kernel, now uint64, retry bool) bool {
+	if retry {
+		r.retries++
+	}
+	if r.refuse > 0 {
+		r.refuse--
+		return false
+	}
 	r.launches = append(r.launches, child)
 	r.launchBy = append(r.launchBy, smxID)
+	return true
 }
 
 func (r *recorder) BlockDone(smxID int, b *Block, now uint64) {
@@ -465,5 +477,63 @@ func TestBlockEndingInLoadRetiresAfterData(t *testing.T) {
 	if rec.doneAt[0] < uint64(cfg.DRAMLatency) {
 		t.Errorf("block retired at %d, before its cold load returned (~%d)",
 			rec.doneAt[0], cfg.DRAMLatency)
+	}
+}
+
+// TestLaunchBackpressureStallsWarp: a refused launch stalls the warp, which
+// retries every cycle until accepted; the following instructions still
+// execute and the stall cycles are counted.
+func TestLaunchBackpressureStallsWarp(t *testing.T) {
+	s, rec, _ := newTestSMX(t, GTO)
+	rec.refuse = 5
+	child := isa.NewKernel("child").Add(isa.NewTB(32).Compute(1).Build()).Build()
+	tb := isa.NewTB(32).Launch(0, child).Compute(3).Build()
+	s.AddBlock(tb, nil, 0)
+	run(t, s, 1000)
+	if len(rec.launches) != 1 {
+		t.Fatalf("launches = %d, want 1", len(rec.launches))
+	}
+	if rec.retries != 5 {
+		t.Errorf("retries = %d, want 5 (one per refused cycle)", rec.retries)
+	}
+	if st := s.Stats(); st.LaunchStallEvents != 5 {
+		t.Errorf("LaunchStallEvents = %d, want 5", st.LaunchStallEvents)
+	}
+	if len(rec.done) != 1 {
+		t.Error("block never retired after stalled launch")
+	}
+}
+
+// TestCheckInvariantsCleanDuringRun: the auditor passes at every cycle of a
+// normal multi-block execution.
+func TestCheckInvariantsCleanDuringRun(t *testing.T) {
+	s, _, _ := newTestSMX(t, GTO)
+	for i := 0; i < 3; i++ {
+		tb := isa.NewTB(64).Compute(5).LoadSeq(uint64(i)*4096, 4).Compute(5).Build()
+		s.AddBlock(tb, nil, 0)
+	}
+	var now uint64
+	for ; now < 10000 && !s.Idle(); now++ {
+		s.Tick(now)
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("cycle %d: %v", now, err)
+		}
+	}
+	if !s.Idle() {
+		t.Fatal("SMX did not idle")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("idle: %v", err)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption: corrupting the resource accounting
+// is reported.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	s, _, _ := newTestSMX(t, GTO)
+	s.AddBlock(isa.NewTB(64).Compute(100).Build(), nil, 0)
+	s.usedThreads += 32 // simulate an accounting bug
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("corrupted thread accounting not detected")
 	}
 }

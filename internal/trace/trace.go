@@ -29,6 +29,13 @@ const (
 	TBDispatched Kind = "tb_dispatched"
 	// KernelCompleted: every thread block of the instance finished.
 	KernelCompleted Kind = "kernel_completed"
+	// LaunchStalled: a warp's device-side launch found its queue (KMU
+	// pending pool or DTBL aggregation buffer) full and stalled; one
+	// event per stall episode, not per retry cycle.
+	LaunchStalled Kind = "launch_stalled"
+	// QueueOverflow: a DTBL launch found the aggregation buffer full and
+	// was demoted to the KMU path (DropToKMU policy).
+	QueueOverflow Kind = "queue_overflow"
 )
 
 // Event is one recorded simulation event.
@@ -43,6 +50,9 @@ type Event struct {
 	// TB and SMX are set for TBDispatched events (-1 otherwise).
 	TB  int `json:"tb"`
 	SMX int `json:"smx"`
+	// Queue names the full launch queue ("kmu" or "agg") for
+	// LaunchStalled and QueueOverflow events.
+	Queue string `json:"queue,omitempty"`
 }
 
 // Recorder accumulates events from one simulation run.
@@ -66,6 +76,31 @@ func (r *Recorder) DispatchHook() func(ki *gpu.KernelInstance, tbIndex, smxID in
 			Parent:   parentID(ki),
 			TB:       tbIndex,
 			SMX:      smxID,
+		})
+	}
+}
+
+// QueueHook returns a function suitable for gpu.Options.TraceQueue that
+// records launch backpressure episodes (LaunchStalled and QueueOverflow
+// events). The stalled or overflowed launch has no kernel instance yet, so
+// Kernel is -1 and Name/Priority describe the child grid; Parent is the
+// launching instance.
+func (r *Recorder) QueueHook() func(gpu.QueueEvent) {
+	return func(ev gpu.QueueEvent) {
+		kind := LaunchStalled
+		if ev.Kind == gpu.QueueOverflow {
+			kind = QueueOverflow
+		}
+		r.events = append(r.events, Event{
+			Cycle:    ev.Cycle,
+			Kind:     kind,
+			Kernel:   -1,
+			Name:     ev.Child.Name,
+			Priority: ev.Parent.Priority + 1,
+			Parent:   ev.Parent.ID,
+			TB:       -1,
+			SMX:      ev.SMX,
+			Queue:    ev.Queue,
 		})
 	}
 }

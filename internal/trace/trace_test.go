@@ -17,7 +17,7 @@ func runTraced(t *testing.T) (*Recorder, *gpu.Simulator) {
 	cfg := config.SmallTest()
 	cfg.DTBLLaunchLatency = 25
 	rec := NewRecorder()
-	sim := gpu.New(gpu.Options{
+	sim := gpu.MustNew(gpu.Options{
 		Config:        &cfg,
 		Scheduler:     core.NewRoundRobin(),
 		Model:         gpu.DTBL,
@@ -28,7 +28,9 @@ func runTraced(t *testing.T) (*Recorder, *gpu.Simulator) {
 	for i := 0; i < 4; i++ {
 		kb.Add(isa.NewTB(32).Compute(2).Launch(0, child).Compute(10).Build())
 	}
-	sim.LaunchHost(kb.Build())
+	if err := sim.LaunchHost(kb.Build()); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -125,5 +127,118 @@ func TestDispatchEventFields(t *testing.T) {
 				t.Errorf("lifecycle event carries placement: %+v", e)
 			}
 		}
+	}
+}
+
+// runBackpressured runs a DTBL workload against a tiny aggregation buffer so
+// the recorder sees launch backpressure through QueueHook.
+func runBackpressured(t *testing.T, policy config.OverflowPolicy) (*Recorder, *gpu.Result) {
+	t.Helper()
+	cfg := config.SmallTest()
+	cfg.DTBLAggBufferEntries = 1
+	cfg.DTBLOverflowPolicy = policy
+	rec := NewRecorder()
+	sim := gpu.MustNew(gpu.Options{
+		Config:     &cfg,
+		Scheduler:  core.NewRoundRobin(),
+		Model:      gpu.DTBL,
+		TraceQueue: rec.QueueHook(),
+	})
+	child := isa.NewKernel("bp-child").Add(isa.NewTB(32).Compute(4).Build()).Build()
+	kb := isa.NewKernel("bp-host")
+	for i := 0; i < 2; i++ {
+		b := isa.NewTB(32).Compute(2)
+		for c := 0; c < 4; c++ {
+			b.Launch(c, child).Compute(2)
+		}
+		kb.Add(b.Build())
+	}
+	if err := sim.LaunchHost(kb.Build()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.FinishRun(sim)
+	return rec, res
+}
+
+func TestQueueHookRecordsStallEpisodes(t *testing.T) {
+	rec, res := runBackpressured(t, config.StallWarp)
+	var stalls int
+	for _, e := range rec.Events() {
+		if e.Kind != LaunchStalled {
+			continue
+		}
+		stalls++
+		if e.Kernel != -1 {
+			t.Errorf("stall event carries kernel ID %d; the launch has no instance yet", e.Kernel)
+		}
+		if e.Queue != "agg" {
+			t.Errorf("stall queue = %q, want agg", e.Queue)
+		}
+		if e.Parent < 0 {
+			t.Errorf("stall event missing launching parent: %+v", e)
+		}
+		if e.Name != "bp-child" {
+			t.Errorf("stall names %q, want the child grid", e.Name)
+		}
+	}
+	if stalls == 0 {
+		t.Fatal("no LaunchStalled events recorded against a 1-entry buffer")
+	}
+	if int64(stalls) != res.LaunchStallEpisodes {
+		t.Errorf("recorded %d stall events, result counts %d episodes", stalls, res.LaunchStallEpisodes)
+	}
+}
+
+func TestQueueHookRecordsOverflows(t *testing.T) {
+	rec, res := runBackpressured(t, config.DropToKMU)
+	var overflows int
+	for _, e := range rec.Events() {
+		if e.Kind != QueueOverflow {
+			continue
+		}
+		overflows++
+		if e.Queue != "agg" {
+			t.Errorf("overflow queue = %q, want agg", e.Queue)
+		}
+	}
+	if overflows == 0 {
+		t.Fatal("no QueueOverflow events recorded under DropToKMU")
+	}
+	if int64(overflows) != res.QueueOverflows {
+		t.Errorf("recorded %d overflow events, result counts %d", overflows, res.QueueOverflows)
+	}
+}
+
+func TestQueueEventsRoundTripJSONL(t *testing.T) {
+	rec, _ := runBackpressured(t, config.StallWarp)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	sawQueue := false
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Kind {
+		case LaunchStalled, QueueOverflow:
+			sawQueue = true
+			if e.Queue == "" {
+				t.Fatalf("backpressure event lost its queue field: %s", sc.Text())
+			}
+		default:
+			if bytes.Contains(sc.Bytes(), []byte(`"queue"`)) {
+				t.Fatalf("non-backpressure event serialises a queue field: %s", sc.Text())
+			}
+		}
+	}
+	if !sawQueue {
+		t.Fatal("no backpressure events in the JSONL stream")
 	}
 }

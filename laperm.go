@@ -27,14 +27,21 @@
 // # Quick start
 //
 //	cfg := laperm.KeplerK20c()
-//	sim := laperm.NewSimulator(laperm.SimOptions{
+//	sim, err := laperm.NewSimulator(laperm.SimOptions{
 //		Config:    &cfg,
 //		Scheduler: laperm.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels),
 //		Model:     laperm.DTBL,
 //	})
+//	if err != nil { ... }
 //	w, _ := laperm.WorkloadByName("bfs-citation")
-//	sim.LaunchHost(w.Build(laperm.ScaleSmall))
+//	if err := sim.LaunchHost(w.Build(laperm.ScaleSmall)); err != nil { ... }
 //	res, err := sim.Run()
+//
+// Run returns structured errors for abnormal terminations: a
+// *DeadlockError when the forward-progress watchdog catches a scheduling
+// deadlock, an *InvariantError when auditing (SimOptions.Audit) finds
+// corrupted engine state, and a *CycleLimitError when MaxCycles is hit.
+// Inspect them with errors.As.
 package laperm
 
 import (
@@ -78,6 +85,29 @@ type (
 	ExpOptions = exp.Options
 	// Experiment is one regenerable table or figure.
 	Experiment = exp.Experiment
+	// OverflowPolicy selects the behaviour of a launch that finds its
+	// bounded queue full.
+	OverflowPolicy = config.OverflowPolicy
+	// DeadlockError is returned by Run when the forward-progress
+	// watchdog finds a scheduling deadlock.
+	DeadlockError = gpu.DeadlockError
+	// InvariantError is returned by Run when the invariant auditor finds
+	// corrupted engine state.
+	InvariantError = gpu.InvariantError
+	// CycleLimitError is returned by Run when MaxCycles is exceeded.
+	CycleLimitError = gpu.CycleLimitError
+	// StuckKernel describes one stuck kernel inside a DeadlockError.
+	StuckKernel = gpu.StuckKernel
+)
+
+// Launch-queue overflow policies.
+const (
+	// StallWarp stalls the launching warp until an entry frees (the
+	// hardware-faithful default).
+	StallWarp = config.StallWarp
+	// DropToKMU demotes an overflowing DTBL TB-group launch to the CDP
+	// device-kernel path.
+	DropToKMU = config.DropToKMU
 )
 
 // Dynamic-parallelism models.
@@ -98,8 +128,13 @@ const (
 // KeplerK20c returns the Table I baseline configuration.
 func KeplerK20c() Config { return config.KeplerK20c() }
 
-// NewSimulator builds a simulator; see gpu.New.
-func NewSimulator(opts SimOptions) *Simulator { return gpu.New(opts) }
+// NewSimulator builds a simulator, returning an error on an invalid
+// configuration or missing scheduler; see gpu.New.
+func NewSimulator(opts SimOptions) (*Simulator, error) { return gpu.New(opts) }
+
+// MustNewSimulator builds a simulator, panicking where NewSimulator would
+// return an error — for tests and known-good configurations.
+func MustNewSimulator(opts SimOptions) *Simulator { return gpu.MustNew(opts) }
 
 // NewTB returns a builder for a thread block with the given thread count.
 func NewTB(threads int) *TBBuilder { return isa.NewTB(threads) }

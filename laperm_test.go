@@ -15,7 +15,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		// Shrink the machine so the tiny workload still queues.
 		cfg.NumSMX = 4
 		cfg.TBsPerSMX = 4
-		sim := laperm.NewSimulator(laperm.SimOptions{
+		sim := laperm.MustNewSimulator(laperm.SimOptions{
 			Config:    &cfg,
 			Scheduler: mk(&cfg),
 			Model:     laperm.DTBL,
@@ -24,7 +24,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 		if !ok {
 			t.Fatal("bfs-citation not registered")
 		}
-		sim.LaunchHost(w.Build(laperm.ScaleTiny))
+		if err := sim.LaunchHost(w.Build(laperm.ScaleTiny)); err != nil {
+			t.Fatal(err)
+		}
 		res, err := sim.Run()
 		if err != nil {
 			t.Fatal(err)
