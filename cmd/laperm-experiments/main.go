@@ -23,9 +23,20 @@ func main() {
 	expID := flag.String("exp", "all", "experiment id ("+strings.Join(exp.IDs(), ", ")+", or all)")
 	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
+	workers := flag.Int("workers", 0, "max simulation cells run concurrently (0 = GOMAXPROCS; output is identical for every value)")
+	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA) on stderr")
 	flag.Parse()
 
-	opts := exp.Options{}
+	opts := exp.Options{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, total int, eta time.Duration) {
+			if eta > 0 {
+				fmt.Fprintf(os.Stderr, "cells %d/%d, eta %s\n", done, total, eta.Round(time.Second))
+			} else {
+				fmt.Fprintf(os.Stderr, "cells %d/%d\n", done, total)
+			}
+		}
+	}
 	switch *scale {
 	case "tiny":
 		opts.Scale = kernels.ScaleTiny

@@ -5,9 +5,13 @@
 //  1. every scheduler and model executes the identical total work;
 //  2. runs are deterministic (two executions, identical statistics);
 //  3. SMX-Bind never places a child off its bound SMX cluster.
+//
+// Workloads validate independently, so -workers fans them over a bounded
+// worker pool; the report is printed in workload order regardless.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -21,74 +25,28 @@ import (
 
 func main() {
 	scale := flag.String("scale", "tiny", "workload scale (tiny, small)")
+	workers := flag.Int("workers", 0, "max workloads validated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sc := kernels.ScaleTiny
 	if *scale == "small" {
 		sc = kernels.ScaleSmall
 	}
-	cfg := config.SmallTest()
+
+	ws := kernels.All()
+	reports := make([]string, len(ws))
+	passed := make([]bool, len(ws))
+	// Cells never return errors — invariant violations are reported in the
+	// per-workload text instead — so Run cannot fail here.
+	_ = exp.Pool{Workers: *workers}.Run(len(ws), func(i int) error {
+		reports[i], passed[i] = validateWorkload(ws[i], sc)
+		return nil
+	})
+
 	failures := 0
-
-	for _, w := range kernels.All() {
-		var wantInsts int64 = -1
-		ok := true
-		for _, model := range exp.Models {
-			for _, sched := range exp.SchedulerNames {
-				opt := exp.Options{Scale: sc, Config: &cfg}
-				a, err := exp.RunOne(w, model, sched, opt)
-				if err != nil {
-					fmt.Printf("FAIL %-14s %s/%s: %v\n", w.Name, model, sched, err)
-					ok = false
-					continue
-				}
-				b, err := exp.RunOne(w, model, sched, opt)
-				if err != nil || a.Cycles != b.Cycles || a.ThreadInsts != b.ThreadInsts {
-					fmt.Printf("FAIL %-14s %s/%s: nondeterministic\n", w.Name, model, sched)
-					ok = false
-				}
-				if wantInsts == -1 {
-					wantInsts = a.ThreadInsts
-				} else if a.ThreadInsts != wantInsts {
-					fmt.Printf("FAIL %-14s %s/%s: %d thread-insts, others %d\n",
-						w.Name, model, sched, a.ThreadInsts, wantInsts)
-					ok = false
-				}
-			}
-		}
-
-		// Binding invariant under SMX-Bind.
-		violations := 0
-		sim, err := gpu.New(gpu.Options{
-			Config:    &cfg,
-			Scheduler: core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels),
-			Model:     gpu.DTBL,
-			TraceDispatch: func(ki *gpu.KernelInstance, tbIndex, smxID int, cycle uint64) {
-				if ki.Parent != nil && cfg.ClusterOf(smxID) != cfg.ClusterOf(ki.BoundSMX) {
-					violations++
-				}
-			},
-		})
-		if err != nil {
-			fmt.Printf("FAIL %-14s smx-bind setup: %v\n", w.Name, err)
-			failures++
-			continue
-		}
-		if err := sim.LaunchHost(w.Build(sc)); err != nil {
-			fmt.Printf("FAIL %-14s smx-bind launch: %v\n", w.Name, err)
-			failures++
-			continue
-		}
-		if _, err := sim.Run(); err != nil {
-			fmt.Printf("FAIL %-14s smx-bind trace run: %v\n", w.Name, err)
-			ok = false
-		}
-		if violations > 0 {
-			fmt.Printf("FAIL %-14s smx-bind: %d TBs off their bound cluster\n", w.Name, violations)
-			ok = false
-		}
-
-		if ok {
+	for i, w := range ws {
+		fmt.Print(reports[i])
+		if passed[i] {
 			fmt.Printf("ok   %-14s\n", w.Name)
 		} else {
 			failures++
@@ -99,4 +57,67 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all invariants hold")
+}
+
+// validateWorkload checks the three invariants on one workload, returning the
+// rendered failure lines (empty on success) and whether every check passed.
+// Each call owns a private configuration so calls can run concurrently.
+func validateWorkload(w kernels.Workload, sc kernels.Scale) (string, bool) {
+	var buf bytes.Buffer
+	cfg := config.SmallTest()
+	var wantInsts int64 = -1
+	ok := true
+	for _, model := range exp.Models {
+		for _, sched := range exp.SchedulerNames {
+			opt := exp.Options{Scale: sc, Config: &cfg}
+			a, err := exp.RunOne(w, model, sched, opt)
+			if err != nil {
+				fmt.Fprintf(&buf, "FAIL %-14s %s/%s: %v\n", w.Name, model, sched, err)
+				ok = false
+				continue
+			}
+			b, err := exp.RunOne(w, model, sched, opt)
+			if err != nil || a.Cycles != b.Cycles || a.ThreadInsts != b.ThreadInsts {
+				fmt.Fprintf(&buf, "FAIL %-14s %s/%s: nondeterministic\n", w.Name, model, sched)
+				ok = false
+			}
+			if wantInsts == -1 {
+				wantInsts = a.ThreadInsts
+			} else if a.ThreadInsts != wantInsts {
+				fmt.Fprintf(&buf, "FAIL %-14s %s/%s: %d thread-insts, others %d\n",
+					w.Name, model, sched, a.ThreadInsts, wantInsts)
+				ok = false
+			}
+		}
+	}
+
+	// Binding invariant under SMX-Bind.
+	violations := 0
+	sim, err := gpu.New(gpu.Options{
+		Config:    &cfg,
+		Scheduler: core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels),
+		Model:     gpu.DTBL,
+		TraceDispatch: func(ki *gpu.KernelInstance, tbIndex, smxID int, cycle uint64) {
+			if ki.Parent != nil && cfg.ClusterOf(smxID) != cfg.ClusterOf(ki.BoundSMX) {
+				violations++
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(&buf, "FAIL %-14s smx-bind setup: %v\n", w.Name, err)
+		return buf.String(), false
+	}
+	if err := sim.LaunchHost(w.Build(sc)); err != nil {
+		fmt.Fprintf(&buf, "FAIL %-14s smx-bind launch: %v\n", w.Name, err)
+		return buf.String(), false
+	}
+	if _, err := sim.Run(); err != nil {
+		fmt.Fprintf(&buf, "FAIL %-14s smx-bind trace run: %v\n", w.Name, err)
+		ok = false
+	}
+	if violations > 0 {
+		fmt.Fprintf(&buf, "FAIL %-14s smx-bind: %d TBs off their bound cluster\n", w.Name, violations)
+		ok = false
+	}
+	return buf.String(), ok
 }

@@ -1,16 +1,20 @@
-// Command lapermsim runs one benchmark workload on the simulated GPU under
-// a chosen dynamic-parallelism model and TB scheduler, printing the run's
+// Command lapermsim runs benchmark workloads on the simulated GPU under a
+// chosen dynamic-parallelism model and TB scheduler, printing each run's
 // statistics.
 //
 // Usage:
 //
 //	lapermsim -workload bfs-citation -model dtbl -sched adaptive-bind
 //	lapermsim -workload join-gaussian -model cdp -sched rr -scale medium -v
+//	lapermsim -workload all -workers 8            # whole suite, in parallel
+//	lapermsim -workload amr,bht,mst-journal       # a comma-separated subset
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,19 +26,29 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "bfs-citation", "workload name ("+strings.Join(kernels.Names(), ", ")+")")
+	workload := flag.String("workload", "bfs-citation", `workload name, comma-separated list, or "all" (`+strings.Join(kernels.Names(), ", ")+")")
 	model := flag.String("model", "dtbl", "dynamic parallelism model (cdp, dtbl)")
 	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(exp.SchedulerNames, ", ")+")")
 	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	verbose := flag.Bool("v", false, "print per-SMX statistics")
-	timeline := flag.Uint64("timeline", 0, "sample the run every N cycles and print the timeline")
-	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
+	timeline := flag.Uint64("timeline", 0, "sample the run every N cycles and print the timeline (single workload only)")
+	traceOut := flag.String("trace", "", "write a JSONL event trace to this file (single workload only)")
+	workers := flag.Int("workers", 0, "max workloads simulated concurrently (0 = GOMAXPROCS; output order is fixed)")
 	flag.Parse()
 
-	w, ok := kernels.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+	names := strings.Split(*workload, ",")
+	if *workload == "all" {
+		names = kernels.Names()
+	}
+	if len(names) > 1 && (*traceOut != "" || *timeline > 0) {
+		fmt.Fprintln(os.Stderr, "-trace and -timeline require a single -workload")
 		os.Exit(2)
+	}
+	for _, name := range names {
+		if _, ok := kernels.ByName(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+			os.Exit(2)
+		}
 	}
 	var m gpu.Model
 	switch *model {
@@ -59,65 +73,93 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := config.KeplerK20c()
-	schedImpl, err := exp.NewScheduler(*sched, &cfg)
+	// Fan the workloads over a bounded worker pool. Outputs are buffered per
+	// cell and printed in command-line order, so the report is identical for
+	// every -workers value.
+	outs := make([]string, len(names))
+	err := exp.Pool{Workers: *workers}.Run(len(names), func(i int) error {
+		var buf bytes.Buffer
+		if len(names) > 1 {
+			fmt.Fprintf(&buf, "=== %s ===\n", names[i])
+		}
+		err := runWorkload(&buf, names[i], m, *sched, sc, *verbose, *timeline, *traceOut)
+		outs[i] = buf.String()
+		return err
+	})
+	for _, out := range outs {
+		fmt.Print(out)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(1)
+	}
+}
+
+// runWorkload simulates one workload and renders its statistics to w. Every
+// call builds a private configuration, scheduler, and simulator, so calls are
+// safe to run concurrently.
+func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels.Scale, verbose bool, timeline uint64, traceOut string) error {
+	wk, ok := kernels.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	cfg := config.KeplerK20c()
+	schedImpl, err := exp.NewScheduler(sched, &cfg)
+	if err != nil {
+		return err
 	}
 	var rec *trace.Recorder
 	opts := gpu.Options{
 		Config:      &cfg,
 		Scheduler:   schedImpl,
 		Model:       m,
-		SampleEvery: *timeline,
+		SampleEvery: timeline,
 	}
-	if *traceOut != "" {
+	if traceOut != "" {
 		rec = trace.NewRecorder()
 		opts.TraceDispatch = rec.DispatchHook()
 		opts.TraceQueue = rec.QueueHook()
 	}
 	sim, err := gpu.New(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
-	if err := sim.LaunchHost(w.Build(sc)); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if err := sim.LaunchHost(wk.Build(sc)); err != nil {
+		return err
 	}
 	res, err := sim.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if rec != nil {
 		rec.FinishRun(sim)
-		f, err := os.Create(*traceOut)
+		f, err := os.Create(traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if err := rec.WriteJSONL(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
-		f.Close()
-		fmt.Printf("  trace: %d events -> %s\n", rec.Len(), *traceOut)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  trace: %d events -> %s\n", rec.Len(), traceOut)
 	}
-	fmt.Println(res)
-	fmt.Printf("  DRAM transactions: %d\n", res.DRAMTransactions)
-	if *verbose {
+	fmt.Fprintln(w, res)
+	fmt.Fprintf(w, "  DRAM transactions: %d\n", res.DRAMTransactions)
+	if verbose {
 		for i, st := range res.SMXStats {
-			fmt.Printf("  SMX%-2d: %8d thread-insts, %7d resident cycles, %6d issue cycles, %4d blocks\n",
+			fmt.Fprintf(w, "  SMX%-2d: %8d thread-insts, %7d resident cycles, %6d issue cycles, %4d blocks\n",
 				i, st.ThreadInsts, st.ResidentCycles, st.IssueCycles, st.BlocksCompleted)
 		}
 	}
-	if *timeline > 0 {
-		fmt.Println("  cycle      ipc     l1      l2      resident-TBs  live-kernels")
+	if timeline > 0 {
+		fmt.Fprintln(w, "  cycle      ipc     l1      l2      resident-TBs  live-kernels")
 		for _, s := range res.Samples {
-			fmt.Printf("  %-10d %-7.1f %5.1f%%  %5.1f%%  %-13d %d\n",
+			fmt.Fprintf(w, "  %-10d %-7.1f %5.1f%%  %5.1f%%  %-13d %d\n",
 				s.Cycle, s.IPC, 100*s.L1, 100*s.L2, s.ResidentTBs, s.LiveKernels)
 		}
 	}
+	return nil
 }

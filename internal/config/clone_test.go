@@ -1,0 +1,41 @@
+package config
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := KeplerK20c()
+	c := g.Clone()
+	c.NumSMX = 99
+	c.DTBLLaunchLatency = 12345
+	if g.NumSMX != 13 || g.DTBLLaunchLatency != 75 {
+		t.Errorf("mutating a clone changed the original: %+v", g)
+	}
+	if d := g.Clone(); !reflect.DeepEqual(d, g) {
+		t.Errorf("Clone() = %+v, want %+v", d, g)
+	}
+}
+
+// TestGPUHasNoReferenceFields enforces the contract Clone documents: GPU
+// must stay a pure value type (no pointers, slices, maps, channels, funcs,
+// or interfaces) so a struct copy is a deep copy and concurrent simulations
+// can clone configurations without sharing mutable state.
+func TestGPUHasNoReferenceFields(t *testing.T) {
+	var check func(t *testing.T, typ reflect.Type, path string)
+	check = func(t *testing.T, typ reflect.Type, path string) {
+		switch typ.Kind() {
+		case reflect.Ptr, reflect.Slice, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
+			t.Errorf("field %s has reference kind %v; this breaks Clone's deep-copy guarantee", path, typ.Kind())
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				check(t, f.Type, path+"."+f.Name)
+			}
+		case reflect.Array:
+			check(t, typ.Elem(), path+"[]")
+		}
+	}
+	check(t, reflect.TypeOf(GPU{}), "GPU")
+}

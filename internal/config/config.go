@@ -213,6 +213,13 @@ func SmallTest() GPU {
 	return g
 }
 
+// Clone returns an independent copy of the configuration. GPU deliberately
+// contains no pointer, slice, or map fields (TestGPUHasNoReferenceFields
+// enforces this), so a value copy is a deep copy: concurrent simulations can
+// each take a Clone and mutate it freely without racing. Keep it that way
+// when adding parameters.
+func (g *GPU) Clone() GPU { return *g }
+
 // L1Sets returns the number of sets in each SMX's L1 cache.
 func (g *GPU) L1Sets() int { return g.L1Bytes / (LineSize * g.L1Assoc) }
 

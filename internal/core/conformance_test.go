@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+)
+
+// conformancePolicies is the table the qualitative-invariant tests below
+// iterate: every evaluated policy with the paper's claims about it.
+var conformancePolicies = []struct {
+	name string
+	make func() gpu.TBScheduler
+	// childFirst: dynamic TBs dispatch ahead of remaining parent TBs on
+	// the SMXs where both are eligible (Section IV-A; false for the RR
+	// baseline, which is strictly FCFS).
+	childFirst bool
+	// strictBind: a child TB only ever dispatches inside its bound
+	// cluster (Section IV-B; SMX-Bind only — Adaptive-Bind deliberately
+	// relaxes this in stage 3).
+	strictBind bool
+}{
+	{"rr", func() gpu.TBScheduler { return NewRoundRobin() }, false, false},
+	{"tb-pri", func() gpu.TBScheduler { return NewTBPri(4) }, true, false},
+	{"smx-bind", func() gpu.TBScheduler { return NewSMXBind(4, 4) }, true, true},
+	{"adaptive-bind", func() gpu.TBScheduler { return NewAdaptiveBind(4, 4) }, true, false},
+}
+
+// TestConformanceChildrenBeforeParents: with a host parent and a bound child
+// both pending, the child's TBs dispatch on the bound SMX before any parent
+// TB lands there. RR, the baseline, must instead dispatch FCFS.
+func TestConformanceChildrenBeforeParents(t *testing.T) {
+	for _, tc := range conformancePolicies {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.make()
+			parent := ki(0, 0, -1, nil, 8)
+			child := ki(1, 1, 0, parent, 3) // bound to SMX 0
+			s.Enqueue(parent)               // FCFS order: parent first
+			s.Enqueue(child)
+			d := &fakeDispatcher{numSMX: 4}
+			seq := drain(t, s, d, 32)
+			if len(seq) != 11 {
+				t.Fatalf("dispatched %d TBs, want 11", len(seq))
+			}
+			switch {
+			case tc.name == "tb-pri":
+				// Global priority queues: every child TB dispatches
+				// (anywhere) before any parent TB.
+				for i := 0; i < 3; i++ {
+					if seq[i][0] != 1 {
+						t.Fatalf("dispatch %d is kernel %d, want all 3 child TBs first: %v", i, seq[i][0], seq)
+					}
+				}
+			case tc.childFirst:
+				// Per-SMX banks: on the bound SMX 0, all child TBs
+				// dispatch before any parent TB lands there.
+				var onSMX0 []int
+				for _, e := range seq {
+					if e[1] == 0 {
+						onSMX0 = append(onSMX0, e[0])
+					}
+				}
+				childSeen := 0
+				for _, id := range onSMX0 {
+					if id == 1 {
+						childSeen++
+					} else if childSeen < 3 {
+						t.Fatalf("parent TB on bound SMX before the child finished: order %v", onSMX0)
+					}
+				}
+				if childSeen != 3 {
+					t.Fatalf("only %d of 3 child TBs dispatched on the bound SMX: %v", childSeen, seq)
+				}
+			default:
+				// RR baseline: strictly FCFS, so the enqueued-first
+				// parent dispatches first.
+				if seq[0][0] != 0 {
+					t.Errorf("rr baseline dispatched the child before the FCFS parent: %v", seq)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceBindingHonored: when the bound SMX has room, a child's TBs
+// dispatch there. SMX-Bind must never leave the cluster even with the rest
+// of the machine idle; Adaptive-Bind must prefer its own bank (stage 1)
+// whenever every SMX has bound work of its own.
+func TestConformanceBindingHonored(t *testing.T) {
+	t.Run("smx-bind-strict", func(t *testing.T) {
+		for _, tc := range conformancePolicies {
+			if !tc.strictBind {
+				continue
+			}
+			s := tc.make()
+			parent := ki(9, 0, -1, nil, 1)
+			child := ki(0, 1, 2, parent, 5) // bound to SMX 2
+			parent.NextTB = 1               // parent already fully dispatched
+			s.Enqueue(child)
+			d := &fakeDispatcher{numSMX: 4}
+			for _, e := range drain(t, s, d, 32) {
+				if e[1] != 2 {
+					t.Errorf("%s: bound child dispatched on SMX %d, want 2", tc.name, e[1])
+				}
+			}
+		}
+	})
+	t.Run("adaptive-stage1-owns-smx", func(t *testing.T) {
+		// One child bound per SMX: stage 1 must place each child on its
+		// own SMX; no steals while every bank has work.
+		ab := NewAdaptiveBind(4, 4)
+		parent := ki(9, 0, -1, nil, 1)
+		parent.NextTB = 1
+		for smx := 0; smx < 4; smx++ {
+			ab.Enqueue(ki(smx, 1, smx, parent, 1))
+		}
+		d := &fakeDispatcher{numSMX: 4}
+		for _, e := range drain(t, ab, d, 16) {
+			if e[0] != e[1] {
+				t.Errorf("child bound to SMX %d dispatched on SMX %d", e[0], e[1])
+			}
+		}
+		if ab.Steals != 0 {
+			t.Errorf("adaptive-bind stole %d TBs while every bank had its own work", ab.Steals)
+		}
+	})
+}
+
+// TestConformanceNoOverCommit: no policy may place a TB on an SMX that
+// reports no room, even when that strands high-priority work. The dispatcher
+// models an SMX filling up after two resident TBs.
+func TestConformanceNoOverCommit(t *testing.T) {
+	for _, tc := range conformancePolicies {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.make()
+			var residents [4]int
+			d := &fakeDispatcher{numSMX: 4, fit: func(smx int, tb *isa.TB) bool {
+				return residents[smx] < 2
+			}}
+			parent := ki(0, 0, -1, nil, 6)
+			s.Enqueue(parent)
+			s.Enqueue(ki(1, 1, 1, parent, 6))
+			dispatched := 0
+			for i := 0; i < 64; i++ {
+				k, smx := s.Select(d)
+				if k == nil {
+					// A full machine (or a policy waiting on its bound
+					// SMX) stops dispatching; keep probing other slots.
+					continue
+				}
+				if residents[smx] >= 2 {
+					t.Fatalf("dispatch to over-committed SMX %d", smx)
+				}
+				if !d.CanFit(smx, k.PeekTB()) {
+					t.Fatalf("placement violates CanFit on SMX %d", smx)
+				}
+				k.NextTB++
+				residents[smx]++
+				dispatched++
+			}
+			if dispatched > 8 {
+				t.Fatalf("dispatched %d TBs onto a machine with 8 slots", dispatched)
+			}
+			if dispatched == 0 {
+				t.Fatal("nothing dispatched")
+			}
+		})
+	}
+}

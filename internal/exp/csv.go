@@ -1,76 +1,101 @@
 package exp
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
-
-	"laperm/internal/metrics"
 )
+
+// writeAtomic runs fn against a buffer and copies the buffer to w only when
+// fn succeeds, so an error interleaved mid-emission (a missing matrix cell,
+// a failed analysis) never leaves w holding a partial, header-only file.
+func writeAtomic(w io.Writer, fn func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := fn(&buf); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
 
 // WriteMatrixCSV emits the full evaluation matrix as machine-readable CSV:
 // one row per (workload, model, scheduler) cell with every statistic the
-// figures read, for downstream plotting.
+// figures read, for downstream plotting. Output is buffered and written only
+// on success: an incomplete matrix yields an error and zero bytes on w.
 func WriteMatrixCSV(m *Matrix, w io.Writer) error {
-	cw := csv.NewWriter(w)
-	header := []string{
-		"workload", "app", "input", "model", "scheduler",
-		"cycles", "thread_insts", "ipc",
-		"l1_hit_rate", "l2_hit_rate", "dram_transactions",
-		"kernels", "dynamic_kernels", "blocks",
-		"avg_child_wait_cycles", "smx_load_imbalance",
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
-	for _, wk := range m.Workloads {
-		for _, model := range Models {
-			for _, sched := range SchedulerNames {
-				r := m.Get(wk.Name, model, sched)
-				row := []string{
-					wk.Name, wk.App, wk.Input, model.String(), sched,
-					strconv.FormatUint(r.Cycles, 10),
-					strconv.FormatInt(r.ThreadInsts, 10),
-					f(r.IPC),
-					f(r.L1.HitRate()), f(r.L2.HitRate()),
-					strconv.FormatInt(r.DRAMTransactions, 10),
-					strconv.Itoa(r.KernelCount), strconv.Itoa(r.DynamicKernelCount), strconv.Itoa(r.BlockCount),
-					f(r.AvgChildWait), f(r.LoadImbalance),
-				}
-				if err := cw.Write(row); err != nil {
-					return err
+	return writeAtomic(w, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		header := []string{
+			"workload", "app", "input", "model", "scheduler",
+			"cycles", "thread_insts", "ipc",
+			"l1_hit_rate", "l2_hit_rate", "dram_transactions",
+			"kernels", "dynamic_kernels", "blocks",
+			"avg_child_wait_cycles", "smx_load_imbalance",
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+		for _, wk := range m.Workloads {
+			for _, model := range Models {
+				for _, sched := range SchedulerNames {
+					r, err := m.lookup(wk.Name, model, sched)
+					if err != nil {
+						return err
+					}
+					row := []string{
+						wk.Name, wk.App, wk.Input, model.String(), sched,
+						strconv.FormatUint(r.Cycles, 10),
+						strconv.FormatInt(r.ThreadInsts, 10),
+						f(r.IPC),
+						f(r.L1.HitRate()), f(r.L2.HitRate()),
+						strconv.FormatInt(r.DRAMTransactions, 10),
+						strconv.Itoa(r.KernelCount), strconv.Itoa(r.DynamicKernelCount), strconv.Itoa(r.BlockCount),
+						f(r.AvgChildWait), f(r.LoadImbalance),
+					}
+					if err := cw.Write(row); err != nil {
+						return err
+					}
 				}
 			}
 		}
-	}
-	cw.Flush()
-	return cw.Error()
+		cw.Flush()
+		return cw.Error()
+	})
 }
 
-// WriteFootprintCSV emits the Figure 2 analysis as CSV.
+// WriteFootprintCSV emits the Figure 2 analysis as CSV, running the
+// per-workload analyses on the Options' pool. As with WriteMatrixCSV, w
+// receives either the complete file or nothing.
 func WriteFootprintCSV(o Options, w io.Writer) error {
 	ws, err := o.workloads()
 	if err != nil {
 		return err
 	}
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"workload", "app", "input", "parent_child", "child_sibling", "parent_parent", "direct_parents", "child_tbs"}); err != nil {
+	stats, err := analyzeFootprints(o, ws)
+	if err != nil {
 		return err
 	}
-	for _, wk := range ws {
-		st := metrics.AnalyzeFootprint(wk.Name, wk.Build(o.Scale))
-		if err := cw.Write([]string{
-			wk.Name, wk.App, wk.Input,
-			fmt.Sprintf("%.6f", st.ParentChild),
-			fmt.Sprintf("%.6f", st.ChildSibling),
-			fmt.Sprintf("%.6f", st.ParentParent),
-			strconv.Itoa(st.DirectParents), strconv.Itoa(st.ChildTBs),
-		}); err != nil {
+	return writeAtomic(w, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"workload", "app", "input", "parent_child", "child_sibling", "parent_parent", "direct_parents", "child_tbs"}); err != nil {
 			return err
 		}
-	}
-	cw.Flush()
-	return cw.Error()
+		for i, wk := range ws {
+			st := stats[i]
+			if err := cw.Write([]string{
+				wk.Name, wk.App, wk.Input,
+				fmt.Sprintf("%.6f", st.ParentChild),
+				fmt.Sprintf("%.6f", st.ChildSibling),
+				fmt.Sprintf("%.6f", st.ParentParent),
+				strconv.Itoa(st.DirectParents), strconv.Itoa(st.ChildTBs),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
 }

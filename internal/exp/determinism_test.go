@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestMatrixDeterminismAcrossPool is the determinism contract of the
+// parallel engine: the same options produce bit-identical gpu.Result values
+// for every cell — all four schedulers under both CDP and DTBL — whether the
+// matrix runs serially (twice, to catch run-to-run nondeterminism) or fanned
+// out over eight pool workers.
+func TestMatrixDeterminismAcrossPool(t *testing.T) {
+	o := fastOptions("bfs-citation", "join-uniform")
+
+	o.Workers = 1
+	serialA, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialB, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantCells := 2 * len(Models) * len(SchedulerNames)
+	if len(serialA.Results) != wantCells || len(parallel.Results) != wantCells {
+		t.Fatalf("cells = %d serial / %d parallel, want %d", len(serialA.Results), len(parallel.Results), wantCells)
+	}
+	for cell, a := range serialA.Results {
+		if b := serialB.Results[cell]; !reflect.DeepEqual(a, b) {
+			t.Errorf("%s/%v/%s: serial rerun diverged:\n  a: %v\n  b: %v", cell.Workload, cell.Model, cell.Sched, a, b)
+		}
+		if p := parallel.Results[cell]; !reflect.DeepEqual(a, p) {
+			t.Errorf("%s/%v/%s: parallel run diverged from serial:\n  serial:   %v\n  parallel: %v", cell.Workload, cell.Model, cell.Sched, a, p)
+		}
+	}
+}
+
+// TestRunAllByteIdenticalAcrossWorkers asserts the ordered-aggregation
+// contract end to end: the full report (tables, figures, sensitivity
+// studies) is byte-identical with 1 and 4 workers.
+func TestRunAllByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll executes every experiment")
+	}
+	o := fastOptions("amr", "join-uniform")
+	var serial, parallel bytes.Buffer
+	o.Workers = 1
+	if err := RunAll(o, &serial); err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 4
+	if err := RunAll(o, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("RunAll output differs between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestMatrixCSVByteIdenticalAcrossWorkers covers the CSV emission path.
+func TestMatrixCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	o := fastOptions("bfs-citation")
+	var bufs [2]bytes.Buffer
+	for i, workers := range []int{1, 4} {
+		o.Workers = workers
+		m, err := RunMatrix(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteMatrixCSV(m, &bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Error("matrix CSV differs between 1 and 4 workers")
+	}
+}

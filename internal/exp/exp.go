@@ -30,11 +30,24 @@ type Options struct {
 	Config *config.GPU
 	// WarpPolicy selects the warp scheduler (default GTO, per Table I).
 	WarpPolicy smx.Policy
+	// Workers bounds how many simulation cells run concurrently in sweeps
+	// (RunMatrix, the sensitivity studies, footprint analyses). Zero or
+	// negative means GOMAXPROCS; 1 forces serial execution. Output is
+	// byte-identical for every worker count.
+	Workers int
+	// Progress, when non-nil, observes sweep progress (cells done, total,
+	// ETA). It may be called from pool goroutines, one call at a time.
+	Progress ProgressFunc
 }
 
+// config returns a private copy of the effective GPU configuration. Every
+// caller gets its own copy so sweep cells that tweak parameters (launch
+// latency, cluster size, priority levels) can never alias the caller's
+// struct or race with a concurrent cell reading it.
 func (o Options) config() *config.GPU {
 	if o.Config != nil {
-		return o.Config
+		g := o.Config.Clone()
+		return &g
 	}
 	g := config.KeplerK20c()
 	return &g

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -231,6 +232,54 @@ func TestCSVExports(t *testing.T) {
 	bad := Options{Workloads: []string{"nope"}}
 	if err := WriteFootprintCSV(bad, &buf); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+func TestWriteMatrixCSVAtomicOnMissingCell(t *testing.T) {
+	o := fastOptions("amr")
+	m, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove a mid-matrix cell: the writer must error without emitting the
+	// header or any leading rows.
+	delete(m.Results, Cell{"amr", gpu.DTBL, "smx-bind"})
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(m, &buf); err == nil {
+		t.Fatal("missing cell not reported")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial CSV emitted on error: %q", buf.String())
+	}
+}
+
+func TestRunAllAtomicOnMidMatrixError(t *testing.T) {
+	// An unknown workload is only discovered at the fig2 stage, after the
+	// table1/table2 sections have been rendered; nothing may reach w.
+	var buf bytes.Buffer
+	if err := RunAll(Options{Workloads: []string{"nope"}}, &buf); err == nil {
+		t.Fatal("unknown workload not reported")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial report emitted on error: %q", buf.String())
+	}
+}
+
+func TestRunOnePropagatesPanicAsPoolError(t *testing.T) {
+	// A scheduler that panics mid-run must surface as an error from the
+	// sweep, not crash the process.
+	o := fastOptions("amr")
+	o.Workers = 2
+	err := o.pool().Run(3, func(i int) error {
+		if i == 1 {
+			panic("scheduler bug")
+		}
+		_, err := RunMatrix(fastOptions("amr"))
+		return err
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Cell != 1 {
+		t.Fatalf("err = %v, want *PanicError for cell 1", err)
 	}
 }
 

@@ -47,16 +47,21 @@ func runTable2(o Options, w io.Writer) error {
 	return t.write(w)
 }
 
-// runFig2 prints the shared-footprint ratios of Figure 2.
+// runFig2 prints the shared-footprint ratios of Figure 2. The per-workload
+// footprint analyses are independent and fan out over the pool.
 func runFig2(o Options, w io.Writer) error {
 	ws, err := o.workloads()
 	if err != nil {
 		return err
 	}
+	stats, err := analyzeFootprints(o, ws)
+	if err != nil {
+		return err
+	}
 	t := newTable("workload", "parent-child", "child-sibling", "parent-parent")
 	var pc, cs, pp []float64
-	for _, wk := range ws {
-		st := metrics.AnalyzeFootprint(wk.Name, wk.Build(o.Scale))
+	for i, wk := range ws {
+		st := stats[i]
 		t.row(wk.Name, pct(st.ParentChild), pct(st.ChildSibling), pct(st.ParentParent))
 		pc = append(pc, st.ParentChild)
 		cs = append(cs, st.ChildSibling)
@@ -68,6 +73,14 @@ func runFig2(o Options, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\npaper: average parent-child 38.4%%, child-sibling 30.5%%, parent-parent 9.3%%\n")
 	return nil
+}
+
+// analyzeFootprints runs the Figure 2 shared-footprint analysis for every
+// workload on the pool, returning stats in workload order.
+func analyzeFootprints(o Options, ws []kernels.Workload) ([]metrics.FootprintStats, error) {
+	return sweep(o, len(ws), func(i int) (metrics.FootprintStats, error) {
+		return metrics.AnalyzeFootprint(ws[i].Name, ws[i].Build(o.Scale)), nil
+	})
 }
 
 // hitRateTable renders a Figure 7/8-style table: one row per workload, one

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+// benchMatrix runs the SmallTest evaluation matrix (4 workloads x 2 models x
+// 4 schedulers = 32 cells) at the given worker count. The serial/parallel
+// pair is the speedup trajectory CI tracks via `go test -bench=Matrix`.
+func benchMatrix(b *testing.B, workers int) {
+	o := fastOptions("bfs-citation", "join-uniform", "amr", "bht")
+	o.Workers = workers
+	// Warm the memoized graph inputs so every measurement sees the same
+	// build costs.
+	if _, err := RunMatrix(o); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMatrix(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixWorkers1(b *testing.B) { benchMatrix(b, 1) }
+func BenchmarkMatrixWorkers2(b *testing.B) { benchMatrix(b, 2) }
+func BenchmarkMatrixWorkers4(b *testing.B) { benchMatrix(b, 4) }
+func BenchmarkMatrixWorkers8(b *testing.B) { benchMatrix(b, 8) }
+
+// BenchmarkRunOneCells benchmarks individual cell costs per scheduler, for
+// profiling which policy dominates matrix time.
+func BenchmarkRunOneCells(b *testing.B) {
+	o := fastOptions()
+	wk, ok := kernels.ByName("bfs-citation")
+	if !ok {
+		b.Fatal("bfs-citation missing")
+	}
+	for _, sched := range SchedulerNames {
+		b.Run(sched, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOne(wk, gpu.DTBL, sched, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,8 +9,15 @@ import (
 
 // RunAll executes every experiment, sharing a single workload x model x
 // scheduler sweep across Figures 7, 8, 9(a) and 9(b) instead of re-running
-// the matrix per figure.
+// the matrix per figure. Simulation cells fan out over o.Workers pool
+// goroutines; the report text is identical for every worker count. Output
+// is buffered and written to w only when every experiment succeeds, so an
+// error mid-matrix never emits a truncated report.
 func RunAll(o Options, w io.Writer) error {
+	return writeAtomic(w, func(w io.Writer) error { return runAll(o, w) })
+}
+
+func runAll(o Options, w io.Writer) error {
 	section := func(e Experiment) {
 		fmt.Fprintf(w, "=== %s: %s", e.ID, e.Title)
 		if e.Inferred {

@@ -59,23 +59,36 @@ type Matrix struct {
 	Results   map[Cell]*gpu.Result
 }
 
-// RunMatrix executes the full evaluation sweep for the given options.
+// RunMatrix executes the full evaluation sweep for the given options,
+// fanning the workload x model x scheduler cells out over the Options' pool
+// (o.Workers goroutines). Each cell builds its own workload program,
+// configuration copy, scheduler, and simulator, so the results — and any
+// error — are identical to a serial sweep regardless of worker count.
 func RunMatrix(o Options) (*Matrix, error) {
 	ws, err := o.workloads()
 	if err != nil {
 		return nil, err
 	}
-	m := &Matrix{Workloads: ws, Results: make(map[Cell]*gpu.Result)}
+	var cells []Cell
+	byName := make(map[string]kernels.Workload, len(ws))
 	for _, w := range ws {
+		byName[w.Name] = w
 		for _, model := range Models {
 			for _, sched := range SchedulerNames {
-				res, err := RunOne(w, model, sched, o)
-				if err != nil {
-					return nil, err
-				}
-				m.Results[Cell{w.Name, model, sched}] = res
+				cells = append(cells, Cell{w.Name, model, sched})
 			}
 		}
+	}
+	results, err := sweep(o, len(cells), func(i int) (*gpu.Result, error) {
+		c := cells[i]
+		return RunOne(byName[c.Workload], c.Model, c.Sched, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{Workloads: ws, Results: make(map[Cell]*gpu.Result, len(cells))}
+	for i, c := range cells {
+		m.Results[c] = results[i]
 	}
 	return m, nil
 }
@@ -83,9 +96,19 @@ func RunMatrix(o Options) (*Matrix, error) {
 // Get returns the result for one cell, panicking on a missing cell (a
 // programming error in a figure runner).
 func (m *Matrix) Get(workload string, model gpu.Model, sched string) *gpu.Result {
-	r, ok := m.Results[Cell{workload, model, sched}]
-	if !ok {
-		panic(fmt.Sprintf("exp: matrix missing cell %s/%v/%s", workload, model, sched))
+	r, err := m.lookup(workload, model, sched)
+	if err != nil {
+		panic(err.Error())
 	}
 	return r
+}
+
+// lookup returns the result for one cell, or an error on a missing cell,
+// for emitters that must fail cleanly instead of panicking mid-file.
+func (m *Matrix) lookup(workload string, model gpu.Model, sched string) (*gpu.Result, error) {
+	r, ok := m.Results[Cell{workload, model, sched}]
+	if !ok {
+		return nil, fmt.Errorf("exp: matrix missing cell %s/%v/%s", workload, model, sched)
+	}
+	return r, nil
 }

@@ -1,0 +1,73 @@
+package kernels
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"laperm/internal/isa"
+)
+
+// TestGraphInputCacheSharesOneInstance: repeated builds of the same
+// (input, scale) must return the identical immutable CSR, and concurrent
+// first-use from many goroutines must converge on one instance (the
+// LoadOrStore discipline) with deterministic contents.
+func TestGraphInputCacheSharesOneInstance(t *testing.T) {
+	a := inputCitation(ScaleTiny)
+	b := inputCitation(ScaleTiny)
+	if a != b {
+		t.Error("inputCitation(ScaleTiny) built two instances; cache miss")
+	}
+	if c := inputCitation(ScaleSmall); c == a {
+		t.Error("different scales share one CSR instance")
+	}
+
+	const goroutines = 16
+	got := make([]any, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			got[i] = inputGraph5(ScaleTiny)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("concurrent inputGraph5 calls returned distinct instances")
+		}
+	}
+}
+
+// kernelShape flattens a kernel tree into a comparable summary: per-grid TB
+// counts and instruction totals, in walk order.
+func kernelShape(k *isa.Kernel) [][2]int64 {
+	var shape [][2]int64
+	add := func(g *isa.Kernel) { shape = append(shape, [2]int64{int64(len(g.TBs)), g.TotalInstCount()}) }
+	add(k)
+	k.Walk(func(parent, child *isa.Kernel) {
+		if parent != nil {
+			add(child)
+		}
+	})
+	return shape
+}
+
+// TestWorkloadBuildsAreDeterministic: two independent builds of a cached-
+// input workload produce structurally identical programs — the property the
+// parallel experiment pool's bit-identical-results contract rests on.
+func TestWorkloadBuildsAreDeterministic(t *testing.T) {
+	w, ok := ByName("bfs-citation")
+	if !ok {
+		t.Fatal("bfs-citation missing")
+	}
+	s1 := kernelShape(w.Build(ScaleTiny))
+	s2 := kernelShape(w.Build(ScaleTiny))
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("two builds of the same workload differ structurally")
+	}
+	if len(s1) < 2 {
+		t.Fatalf("bfs-citation built %d grids; expected dynamic children", len(s1))
+	}
+}

@@ -1,6 +1,9 @@
 package kernels
 
 import (
+	"fmt"
+	"sync"
+
 	"laperm/internal/graph"
 	"laperm/internal/isa"
 )
@@ -11,17 +14,44 @@ import (
 
 func graphVertices(s Scale) int { return s.parentTBs() * TBThreads }
 
-func inputCitation(s Scale) *graph.CSR { return graph.Citation(graphVertices(s), 5, 101) }
+// inputCache memoizes the generated graph inputs per (input, scale). A CSR
+// is immutable once built — every consumer (workload builders, the graph
+// algorithms, the footprint analysis) only reads it — so one instance can
+// back any number of concurrent simulation cells. Generation is
+// deterministic, so a LoadOrStore race between two cells keeps an instance
+// identical to the one discarded.
+var inputCache sync.Map // "input/scale" -> *graph.CSR
 
-func inputGraph5(s Scale) *graph.CSR {
-	logn := 9
-	for (1 << logn) < graphVertices(s) {
-		logn++
+func cachedInput(input string, s Scale, gen func(Scale) *graph.CSR) *graph.CSR {
+	key := fmt.Sprintf("%s/%d", input, int(s))
+	if v, ok := inputCache.Load(key); ok {
+		return v.(*graph.CSR)
 	}
-	return graph.RMAT(logn, 5, 102)
+	v, _ := inputCache.LoadOrStore(key, gen(s))
+	return v.(*graph.CSR)
 }
 
-func inputCage15(s Scale) *graph.CSR { return graph.Banded(graphVertices(s), 7, 24, 103) }
+func inputCitation(s Scale) *graph.CSR {
+	return cachedInput("citation", s, func(s Scale) *graph.CSR {
+		return graph.Citation(graphVertices(s), 5, 101)
+	})
+}
+
+func inputGraph5(s Scale) *graph.CSR {
+	return cachedInput("graph5", s, func(s Scale) *graph.CSR {
+		logn := 9
+		for (1 << logn) < graphVertices(s) {
+			logn++
+		}
+		return graph.RMAT(logn, 5, 102)
+	})
+}
+
+func inputCage15(s Scale) *graph.CSR {
+	return cachedInput("cage15", s, func(s Scale) *graph.CSR {
+		return graph.Banded(graphVertices(s), 7, 24, 103)
+	})
+}
 
 // graphBuilder adapts a graph application builder and an input generator to
 // the Workload.Build signature.
