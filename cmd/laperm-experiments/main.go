@@ -17,6 +17,7 @@ import (
 
 	"laperm/internal/exp"
 	"laperm/internal/kernels"
+	"laperm/internal/prof"
 )
 
 func main() {
@@ -25,7 +26,19 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
 	workers := flag.Int("workers", 0, "max simulation cells run concurrently (0 = GOMAXPROCS; output is identical for every value)")
 	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA) on stderr")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	opts := exp.Options{Workers: *workers}
 	if *progress {

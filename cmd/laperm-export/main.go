@@ -19,11 +19,19 @@ import (
 	"laperm/internal/kernels"
 )
 
-func openOut(path string) (io.WriteCloser, error) {
+// emit writes fn's output to path. "-" streams to stdout (which is never
+// closed); real files are written via a same-directory temp file renamed
+// into place, so an interrupted or failed export never leaves a partial
+// CSV behind.
+func emit(path string, fn func(io.Writer) error) error {
 	if path == "-" {
-		return os.Stdout, nil
+		return fn(os.Stdout)
 	}
-	return os.Create(path)
+	if err := exp.WriteFileAtomic(path, fn); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func main() {
@@ -50,18 +58,12 @@ func main() {
 	}
 
 	if *footprint != "" {
-		w, err := openOut(*footprint)
+		err := emit(*footprint, func(w io.Writer) error {
+			return exp.WriteFootprintCSV(opts, w)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		}
-		if err := exp.WriteFootprintCSV(opts, w); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if w != os.Stdout {
-			w.Close()
-			fmt.Printf("wrote %s\n", *footprint)
 		}
 	}
 
@@ -71,18 +73,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		w, err := openOut(*out)
+		err = emit(*out, func(w io.Writer) error {
+			return exp.WriteMatrixCSV(m, w)
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
-		}
-		if err := exp.WriteMatrixCSV(m, w); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if w != os.Stdout {
-			w.Close()
-			fmt.Printf("wrote %s\n", *out)
 		}
 	}
 }

@@ -1,0 +1,174 @@
+// Command laperm-trace runs one workload x scheduler cell with full
+// observability switched on — reuse-tagged cache attribution, timeline
+// sampling, and structured event tracing — and renders the run every way
+// the repo knows how:
+//
+//	laperm-trace -workload bfs-citation -sched smx-bind \
+//	    -perfetto run.json -timeline-csv timeline.csv -jsonl events.jsonl
+//
+// The Perfetto JSON opens directly in ui.perfetto.dev; the terminal report
+// breaks classified L1/L2 hits down by installer relationship (self /
+// parent-child / sibling / cross). With -compare the cell is re-run under
+// every scheduler and the per-scheduler parent-child shares are tabulated
+// (-reuse-csv writes the raw breakdown), the repo-native Figure 3 view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/mem"
+	"laperm/internal/prof"
+	"laperm/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "bfs-citation", "workload name (see laperm-experiments -exp table2)")
+	model := flag.String("model", "dtbl", "launch model (cdp, dtbl)")
+	sched := flag.String("sched", "adaptive-bind", "TB scheduler (rr, tb-pri, smx-bind, adaptive-bind)")
+	scale := flag.String("scale", "tiny", "workload scale (tiny, small, medium)")
+	sampleEvery := flag.Uint64("sample-every", 512, "timeline sample window in cycles (0 disables sampling)")
+	jsonl := flag.String("jsonl", "", "write the event trace as JSON Lines to this file ('-' for stdout)")
+	perfetto := flag.String("perfetto", "", "write a Chrome/Perfetto trace_event JSON to this file ('-' for stdout)")
+	timelineCSV := flag.String("timeline-csv", "", "write the sampled timeline as CSV to this file ('-' for stdout)")
+	reuseCSV := flag.String("reuse-csv", "", "with -compare: write the per-scheduler reuse breakdown CSV to this file ('-' for stdout)")
+	compare := flag.Bool("compare", false, "run the cell under every scheduler and tabulate parent-child reuse")
+	workers := flag.Int("workers", 0, "with -compare: max cells run concurrently (0 = GOMAXPROCS)")
+	pf := prof.Register(flag.CommandLine)
+	flag.Parse()
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fatal(err)
+	}
+	if err := run(*workload, *model, *sched, *scale, *sampleEvery,
+		*jsonl, *perfetto, *timelineCSV, *reuseCSV, *compare, *workers); err != nil {
+		stopProf()
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func run(workload, model, sched, scale string, sampleEvery uint64,
+	jsonl, perfetto, timelineCSV, reuseCSV string, compare bool, workers int) error {
+	o := exp.Options{Attribution: true, SampleEvery: sampleEvery, Workers: workers}
+	switch scale {
+	case "tiny":
+		o.Scale = kernels.ScaleTiny
+	case "small":
+		o.Scale = kernels.ScaleSmall
+	case "medium":
+		o.Scale = kernels.ScaleMedium
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	var m gpu.Model
+	switch model {
+	case "cdp":
+		m = gpu.CDP
+	case "dtbl":
+		m = gpu.DTBL
+	default:
+		return fmt.Errorf("unknown model %q (cdp, dtbl)", model)
+	}
+	w, ok := kernels.ByName(workload)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (known: %v)", workload, kernels.Names())
+	}
+
+	if compare {
+		return runCompare(o, w, m, reuseCSV)
+	}
+	return runCell(o, w, m, sched, jsonl, perfetto, timelineCSV)
+}
+
+// runCell runs one cell with a trace recorder attached and emits every
+// requested artifact.
+func runCell(o exp.Options, w kernels.Workload, m gpu.Model, sched,
+	jsonl, perfetto, timelineCSV string) error {
+	rec := trace.NewRecorder()
+	res, sim, err := exp.RunCell(w, m, sched, o, func(g *gpu.Options) {
+		g.TraceDispatch = rec.DispatchHook()
+		g.TraceQueue = rec.QueueHook()
+		g.TraceBlockDone = rec.BlockHook()
+		g.TraceSample = rec.SampleHook()
+	})
+	if sim != nil {
+		rec.FinishRun(sim)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(res)
+	printReuse(os.Stdout, "L1", res.L1Reuse)
+	printReuse(os.Stdout, "L2", res.L2Reuse)
+	fmt.Printf("%d trace events, %d timeline samples\n", rec.Len(), len(res.Timeline))
+
+	if jsonl != "" {
+		if err := emit(jsonl, rec.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if perfetto != "" {
+		if err := emit(perfetto, rec.WritePerfetto); err != nil {
+			return err
+		}
+	}
+	if timelineCSV != "" {
+		if err := emit(timelineCSV, func(w io.Writer) error {
+			return exp.WriteTimelineCSV(res, w)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCompare sweeps the workload under every scheduler and tabulates the
+// reuse breakdowns.
+func runCompare(o exp.Options, w kernels.Workload, m gpu.Model, reuseCSV string) error {
+	o.Workloads = []string{w.Name}
+	rm, err := exp.RunReuse(o, m)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteReuseReport(rm, os.Stdout); err != nil {
+		return err
+	}
+	if reuseCSV != "" {
+		return emit(reuseCSV, func(w io.Writer) error {
+			return exp.WriteReuseCSV(rm, w)
+		})
+	}
+	return nil
+}
+
+func printReuse(w io.Writer, level string, r mem.ReuseStats) {
+	fmt.Fprintf(w, "%s reuse: %s", level, r)
+	if r.Total() > 0 {
+		fmt.Fprintf(w, " (parent-child %.1f%%)", 100*r.Share(mem.ReuseParentChild))
+	}
+	fmt.Fprintln(w)
+}
+
+// emit writes fn's output to path, atomically for real files, streamed for
+// '-' (stdout).
+func emit(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	return exp.WriteFileAtomic(path, fn)
+}

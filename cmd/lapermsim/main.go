@@ -156,7 +156,7 @@ func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels
 	}
 	if timeline > 0 {
 		fmt.Fprintln(w, "  cycle      ipc     l1      l2      resident-TBs  live-kernels")
-		for _, s := range res.Samples {
+		for _, s := range res.Timeline {
 			fmt.Fprintf(w, "  %-10d %-7.1f %5.1f%%  %5.1f%%  %-13d %d\n",
 				s.Cycle, s.IPC, 100*s.L1, 100*s.L2, s.ResidentTBs, s.LiveKernels)
 		}

@@ -48,7 +48,7 @@ func main() {
 		fmt.Println(res)
 		fmt.Println(metrics.AnalyzeChildLatency(sim.Kernels()))
 		fmt.Println("timeline:")
-		for _, s := range res.Samples {
+		for _, s := range res.Timeline {
 			fmt.Printf("  cycle %-7d ipc %-6.1f L1 %5.1f%%  L2 %5.1f%%  resident TBs %-4d live kernels %d\n",
 				s.Cycle, s.IPC, 100*s.L1, 100*s.L2, s.ResidentTBs, s.LiveKernels)
 		}

@@ -5,7 +5,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
+
+	"laperm/internal/gpu"
 )
 
 // writeAtomic runs fn against a buffer and copies the buffer to w only when
@@ -18,6 +22,73 @@ func writeAtomic(w io.Writer, fn func(io.Writer) error) error {
 	}
 	_, err := w.Write(buf.Bytes())
 	return err
+}
+
+// WriteFileAtomic writes fn's output to path via a temporary file in the
+// same directory renamed into place, so readers never observe a partial
+// file and a failed emitter leaves any existing file untouched.
+func WriteFileAtomic(path string, fn func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	err = writeAtomic(tmp, fn)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteTimelineCSV emits one run's sampled timeline (Result.Timeline) as
+// CSV, one row per sample window. Per-SMX occupancy is flattened into
+// smx<N>_tbs columns.
+func WriteTimelineCSV(res *gpu.Result, w io.Writer) error {
+	return writeAtomic(w, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		nSMX := 0
+		if len(res.Timeline) > 0 {
+			nSMX = len(res.Timeline[0].SMXResident)
+		}
+		header := []string{
+			"cycle", "ipc", "l1_hit_rate", "l2_hit_rate",
+			"resident_tbs", "live_kernels",
+			"pending_arrivals", "kmu_queued", "kdu_used", "agg_entries",
+			"tbs_dispatched", "mem_stalls", "launch_stalls",
+			"l1_parent_child_share",
+		}
+		for i := 0; i < nSMX; i++ {
+			header = append(header, fmt.Sprintf("smx%d_tbs", i))
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+		for _, s := range res.Timeline {
+			row := []string{
+				strconv.FormatUint(s.Cycle, 10),
+				f(s.IPC), f(s.L1), f(s.L2),
+				strconv.Itoa(s.ResidentTBs), strconv.Itoa(s.LiveKernels),
+				strconv.Itoa(s.PendingArrivals), strconv.Itoa(s.KMUQueued),
+				strconv.Itoa(s.KDUUsed), strconv.Itoa(s.AggEntries),
+				strconv.FormatUint(s.TBsDispatched, 10),
+				strconv.FormatInt(s.MemStalls, 10),
+				strconv.FormatInt(s.LaunchStalls, 10),
+				f(s.L1ParentChild),
+			}
+			for _, n := range s.SMXResident {
+				row = append(row, strconv.Itoa(n))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
 }
 
 // WriteMatrixCSV emits the full evaluation matrix as machine-readable CSV:

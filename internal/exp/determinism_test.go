@@ -43,6 +43,48 @@ func TestMatrixDeterminismAcrossPool(t *testing.T) {
 	}
 }
 
+// TestMatrixDeterminismWithObservability re-runs the determinism contract
+// with the full observability stack on — sampling and reuse attribution —
+// so the timeline and reuse fields of gpu.Result are covered by the same
+// bit-identical guarantee, and the sampled timelines serialise to identical
+// CSV bytes.
+func TestMatrixDeterminismWithObservability(t *testing.T) {
+	o := fastOptions("bfs-citation", "join-uniform")
+	o.Attribution = true
+	o.SampleEvery = 128
+
+	o.Workers = 1
+	serial, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	parallel, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell, a := range serial.Results {
+		p := parallel.Results[cell]
+		if !reflect.DeepEqual(a, p) {
+			t.Errorf("%s/%v/%s: diverged with sampling+attribution on", cell.Workload, cell.Model, cell.Sched)
+			continue
+		}
+		if len(a.Timeline) == 0 {
+			t.Errorf("%s/%v/%s: no timeline with SampleEvery set", cell.Workload, cell.Model, cell.Sched)
+		}
+		var ca, cp bytes.Buffer
+		if err := WriteTimelineCSV(a, &ca); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteTimelineCSV(p, &cp); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ca.Bytes(), cp.Bytes()) {
+			t.Errorf("%s/%v/%s: timeline CSV differs across worker counts", cell.Workload, cell.Model, cell.Sched)
+		}
+	}
+}
+
 // TestRunAllByteIdenticalAcrossWorkers asserts the ordered-aggregation
 // contract end to end: the full report (tables, figures, sensitivity
 // studies) is byte-identical with 1 and 4 workers.

@@ -38,6 +38,14 @@ type Options struct {
 	// Progress, when non-nil, observes sweep progress (cells done, total,
 	// ETA). It may be called from pool goroutines, one call at a time.
 	Progress ProgressFunc
+	// Attribution enables reuse-tagged cache accounting on every run
+	// (gpu.Options.Attribution): Result.L1Reuse/L2Reuse break cache hits
+	// down by installer relationship. Off by default; timing is identical
+	// either way.
+	Attribution bool
+	// SampleEvery, when non-zero, records a timeline Sample every that
+	// many cycles on every run (gpu.Options.SampleEvery).
+	SampleEvery uint64
 }
 
 // config returns a private copy of the effective GPU configuration. Every

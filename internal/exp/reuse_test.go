@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/mem"
+)
+
+// reuseApps picks one workload per application, the granularity of the
+// paper's Figure 3 comparison.
+var reuseApps = []string{
+	"amr", "bht", "bfs-citation", "clr-citation",
+	"regx-darpa", "pre-movielens", "join-uniform", "sssp-citation",
+}
+
+// TestReuseLaPermBeatsRR is the PR's acceptance property: under DTBL at
+// tiny scale on the default K20c configuration, the locality-binding
+// scheduler must raise the parent-child share of classified L1 hits over
+// the rr baseline on at least 6 of the 8 applications — the repo-native
+// Figure 3/6 locality claim. (join can never show parent-child L1 hits:
+// its parent-to-child data flows through stores, and the write-through
+// no-allocate L1 never installs stored lines under the parent's identity.)
+func TestReuseLaPermBeatsRR(t *testing.T) {
+	o := Options{Scale: kernels.ScaleTiny, Workloads: reuseApps}
+	m, err := RunReuse(o, gpu.DTBL)
+	if err != nil {
+		t.Fatalf("RunReuse: %v", err)
+	}
+	wins := 0
+	for _, app := range reuseApps {
+		baseR := m.Results[Cell{app, gpu.DTBL, "rr"}].L1Reuse
+		gotR := m.Results[Cell{app, gpu.DTBL, "smx-bind"}].L1Reuse
+		base := baseR.Share(mem.ReuseParentChild)
+		got := gotR.Share(mem.ReuseParentChild)
+		t.Logf("%s: rr %.4f (%v), smx-bind %.4f (%v)", app, base, baseR, got, gotR)
+		if got > base {
+			wins++
+		}
+	}
+	if wins < 6 {
+		t.Errorf("smx-bind beat rr's parent-child L1 share on %d/8 apps, want >= 6", wins)
+	}
+}
+
+// TestReuseCSVAndReport checks both emitters produce complete, well-formed
+// output for a small reuse matrix.
+func TestReuseCSVAndReport(t *testing.T) {
+	o := fastOptions("bfs-citation", "join-uniform")
+	m, err := RunReuse(o, gpu.DTBL)
+	if err != nil {
+		t.Fatalf("RunReuse: %v", err)
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteReuseCSV(m, &csvBuf); err != nil {
+		t.Fatalf("WriteReuseCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	// header + 2 workloads x 4 schedulers x 2 levels
+	if want := 1 + 2*4*2; len(lines) != want {
+		t.Errorf("reuse CSV has %d lines, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "workload,app,input,model,scheduler,level,") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	var rep bytes.Buffer
+	if err := WriteReuseReport(m, &rep); err != nil {
+		t.Fatalf("WriteReuseReport: %v", err)
+	}
+	for _, want := range []string{"Parent-child share", "bfs-citation", "adaptive-bind"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, rep.String())
+		}
+	}
+}
+
+// TestAttributionPreservesTiming verifies attribution is observationally
+// free: the same cell with and without attribution must agree on every
+// timing and cache statistic.
+func TestAttributionPreservesTiming(t *testing.T) {
+	o := fastOptions("bfs-citation")
+	ws, err := o.workloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunOne(ws[0], gpu.DTBL, "adaptive-bind", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Attribution = true
+	on, err := RunOne(ws[0], gpu.DTBL, "adaptive-bind", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Cycles != on.Cycles || off.ThreadInsts != on.ThreadInsts ||
+		off.L1 != on.L1 || off.L2 != on.L2 ||
+		off.DRAMTransactions != on.DRAMTransactions {
+		t.Errorf("attribution changed the run: off %+v, on %+v", off, on)
+	}
+	if off.L1Reuse.Total() != 0 {
+		t.Errorf("attribution off but L1Reuse populated: %v", off.L1Reuse)
+	}
+	if on.L1Reuse.Total() == 0 {
+		t.Errorf("attribution on but no classified L1 hits")
+	}
+}

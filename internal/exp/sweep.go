@@ -26,23 +26,42 @@ func NewScheduler(name string, cfg *config.GPU) (gpu.TBScheduler, error) {
 
 // RunOne simulates one workload under one (model, scheduler) pair.
 func RunOne(w kernels.Workload, model gpu.Model, sched string, o Options) (*gpu.Result, error) {
+	res, _, err := RunCell(w, model, sched, o, nil)
+	return res, err
+}
+
+// RunCell is RunOne exposing the engine: customize, when non-nil, edits the
+// assembled gpu.Options before the simulator is built (trace hooks, sampling
+// overrides), and the simulator is returned alongside the result so callers
+// can read kernel-instance timestamps afterwards. On a Run error the
+// simulator is still returned for post-mortem inspection (nil only when
+// construction itself failed).
+func RunCell(w kernels.Workload, model gpu.Model, sched string, o Options,
+	customize func(*gpu.Options)) (*gpu.Result, *gpu.Simulator, error) {
 	cfg := o.config()
 	s, err := NewScheduler(sched, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: s, Model: model, WarpPolicy: o.WarpPolicy})
+	gopts := gpu.Options{
+		Config: cfg, Scheduler: s, Model: model, WarpPolicy: o.WarpPolicy,
+		Attribution: o.Attribution, SampleEvery: o.SampleEvery,
+	}
+	if customize != nil {
+		customize(&gopts)
+	}
+	sim, err := gpu.New(gopts)
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
+		return nil, nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
 	}
 	if err := sim.LaunchHost(w.Build(o.Scale)); err != nil {
-		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
+		return nil, sim, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
 	}
 	res, err := sim.Run()
 	if err != nil {
-		return nil, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
+		return nil, sim, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
 	}
-	return res, nil
+	return res, sim, nil
 }
 
 // Cell identifies one run of the full evaluation matrix.

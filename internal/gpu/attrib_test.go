@@ -1,0 +1,84 @@
+package gpu_test
+
+import (
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+	"laperm/internal/mem"
+)
+
+// pinSched places every thread block on the SMX pick returns for its
+// kernel instance — a degenerate scheduler for constructing placement
+// scenarios the policy schedulers would never emit.
+type pinSched struct {
+	pick  func(ki *gpu.KernelInstance) int
+	queue []*gpu.KernelInstance
+}
+
+func (p *pinSched) Name() string                  { return "pin" }
+func (p *pinSched) Enqueue(k *gpu.KernelInstance) { p.queue = append(p.queue, k) }
+
+func (p *pinSched) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	for _, ki := range p.queue {
+		if ki.Exhausted() {
+			continue
+		}
+		if smx := p.pick(ki); d.CanFit(smx, ki.PeekTB()) {
+			return ki, smx
+		}
+	}
+	return nil, 0
+}
+
+// attribProgram builds the smallest parent-child reuse scenario: one parent
+// TB loads eight lines and launches one child TB that loads exactly the
+// same eight lines and nothing else.
+func attribProgram() (prog *isa.Kernel) {
+	child := isa.NewKernel("child").
+		Add(isa.NewTB(64).LoadSeq(0, 4).Compute(2).Build()).Build()
+	return isa.NewKernel("parent").
+		Add(isa.NewTB(64).LoadSeq(0, 4).Launch(0, child).Compute(2).Build()).
+		Build()
+}
+
+// runPinned runs attribProgram with the child pinned to the given SMX (the
+// parent always runs on SMX 0) and returns the L1 reuse breakdown.
+func runPinned(t *testing.T, childSMX int) mem.ReuseStats {
+	t.Helper()
+	sched := &pinSched{pick: func(ki *gpu.KernelInstance) int {
+		if ki.Parent != nil {
+			return childSMX
+		}
+		return 0
+	}}
+	res := run(t, gpu.Options{
+		Config: smallCfg(), Scheduler: sched,
+		Model: gpu.DTBL, Attribution: true,
+	}, attribProgram())
+	return res.L1Reuse
+}
+
+// TestAttributionSameSMXIsAllParentChild: with the child on the parent's
+// SMX, every classified L1 hit must be a parent-child hit — the child reads
+// only lines the parent installed, and the parent itself never re-touches a
+// line (its eight loads are cold misses).
+func TestAttributionSameSMXIsAllParentChild(t *testing.T) {
+	r := runPinned(t, 0)
+	if r.Total() == 0 {
+		t.Fatalf("no classified L1 hits; want the child's reloads to hit: %v", r)
+	}
+	if r.ParentChild != r.Total() {
+		t.Errorf("parent-child share = %.2f (%v), want 1.00", r.Share(mem.ReuseParentChild), r)
+	}
+}
+
+// TestAttributionCrossSMXIsZero: forced onto a different SMX (a different
+// private L1), the child cold-misses everything and no parent-child hit can
+// occur.
+func TestAttributionCrossSMXIsZero(t *testing.T) {
+	r := runPinned(t, 1)
+	if r.ParentChild != 0 {
+		t.Errorf("parent-child hits = %d across SMXs, want 0 (%v)", r.ParentChild, r)
+	}
+}

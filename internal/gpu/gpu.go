@@ -177,9 +177,24 @@ type Options struct {
 	// TraceQueue, when non-nil, observes launch-queue backpressure
 	// episodes (stalls and overflows).
 	TraceQueue func(ev QueueEvent)
+	// TraceBlockDone, when non-nil, observes every thread-block
+	// retirement: the kernel instance, the TB index within it, the SMX it
+	// ran on, and the cycles bracketing its residency.
+	TraceBlockDone func(ki *KernelInstance, tbIndex, smxID int, dispatchCycle, cycle uint64)
+	// TraceSample, when non-nil, observes every timeline Sample as it is
+	// taken (requires SampleEvery). Trace recorders use it to build
+	// counter tracks.
+	TraceSample func(s Sample)
 	// SampleEvery, when non-zero, records a timeline Sample (windowed
-	// IPC, cache hit rates, occupancy) every that many cycles.
+	// IPC, cache hit rates, occupancy, queue depths, stall counters)
+	// every that many cycles into Result.Timeline.
 	SampleEvery uint64
+	// Attribution enables reuse-tagged cache accounting: every L1/L2
+	// line remembers the kernel instance that installed it and every hit
+	// is classified self / parent-child / sibling / cross into
+	// Result.L1Reuse and Result.L2Reuse. Off (the default), the tagged
+	// paths are inert and cost nothing.
+	Attribution bool
 	// WatchdogInterval is how often the forward-progress watchdog
 	// compares progress snapshots; 0 means DefaultWatchdogInterval. Set
 	// NoWatchdog to disable it entirely.
@@ -233,9 +248,11 @@ type Simulator struct {
 	live      int
 	kernels   []*KernelInstance // every instance ever created
 	nextID    int
-	maxCycles uint64
-	trace     func(ki *KernelInstance, tbIndex, smxID int, cycle uint64)
-	traceQ    func(ev QueueEvent)
+	maxCycles  uint64
+	trace      func(ki *KernelInstance, tbIndex, smxID int, cycle uint64)
+	traceQ     func(ev QueueEvent)
+	traceBlock func(ki *KernelInstance, tbIndex, smxID int, dispatchCycle, cycle uint64)
+	traceSmp   func(s Sample)
 
 	// Bounded launch-path state. kmuInFlight counts device launches
 	// holding a KMU pending-pool entry (in arrivals or KMU queues);
@@ -295,9 +312,14 @@ func New(opts Options) (*Simulator, error) {
 		maxCycles:     maxCycles,
 		trace:         opts.TraceDispatch,
 		traceQ:        opts.TraceQueue,
+		traceBlock:    opts.TraceBlockDone,
+		traceSmp:      opts.TraceSample,
 		sampleEvery:   opts.SampleEvery,
 		watchdogEvery: watchdog,
 		audit:         opts.Audit,
+	}
+	if opts.Attribution {
+		s.memsys.SetAttribution(true)
 	}
 	s.kmuQueue = make([]kmuFIFO, opts.Config.MaxPriorityLevels+1)
 	s.smxs = make([]*smx.SMX, opts.Config.NumSMX)
@@ -443,6 +465,19 @@ func (s *Simulator) BlockDone(smxID int, b *smx.Block, now uint64) {
 			s.kduUsed--
 		}
 	}
+	if s.traceBlock != nil {
+		s.traceBlock(ki, b.TBIndex, smxID, b.DispatchCycle, now)
+	}
+}
+
+// reuseTag is the attribution identity a kernel instance's blocks carry into
+// the memory hierarchy.
+func reuseTag(ki *KernelInstance) mem.Accessor {
+	t := mem.Accessor{Inst: int32(ki.ID), Parent: -1}
+	if ki.Parent != nil {
+		t.Parent = int32(ki.Parent.ID)
+	}
+	return t
 }
 
 // compactThreshold is the head-cursor depth past which the amortised queues
@@ -578,6 +613,7 @@ func (s *Simulator) tbDispatch() error {
 		if s.trace != nil {
 			s.trace(ki, ki.NextTB, smxID, s.now)
 		}
+		tbIndex := ki.NextTB
 		ki.NextTB++
 		s.tbsDispatched++
 		if ki.Exhausted() && ki.poolAgg {
@@ -588,7 +624,7 @@ func (s *Simulator) tbDispatch() error {
 			ki.dispatchedAny = true
 			ki.FirstDispatchCycle = s.now
 		}
-		s.smxs[smxID].AddBlock(tb, ki, s.now)
+		s.smxs[smxID].AddBlockAttr(tb, ki, tbIndex, reuseTag(ki), s.now)
 	}
 	return nil
 }

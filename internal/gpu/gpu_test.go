@@ -403,12 +403,12 @@ func TestTimelineSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Samples) == 0 {
+	if len(res.Timeline) == 0 {
 		t.Fatal("no samples recorded")
 	}
 	var last uint64
 	var sawWork bool
-	for _, smp := range res.Samples {
+	for _, smp := range res.Timeline {
 		if smp.Cycle <= last {
 			t.Errorf("samples not monotone: %d after %d", smp.Cycle, last)
 		}
@@ -428,10 +428,10 @@ func TestTimelineSampling(t *testing.T) {
 	}
 	// Windowed IPC must average out near the global IPC.
 	var sum float64
-	for _, smp := range res.Samples {
+	for _, smp := range res.Timeline {
 		sum += smp.IPC
 	}
-	avg := sum / float64(len(res.Samples))
+	avg := sum / float64(len(res.Timeline))
 	if avg < res.IPC/3 || avg > res.IPC*3 {
 		t.Errorf("windowed IPC average %.2f far from global %.2f", avg, res.IPC)
 	}
@@ -439,8 +439,8 @@ func TestTimelineSampling(t *testing.T) {
 
 func TestNoSamplingByDefault(t *testing.T) {
 	res := run(t, gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin()}, simpleKernel("k", 4))
-	if len(res.Samples) != 0 {
-		t.Errorf("unexpected samples: %d", len(res.Samples))
+	if len(res.Timeline) != 0 {
+		t.Errorf("unexpected samples: %d", len(res.Timeline))
 	}
 }
 

@@ -8,8 +8,9 @@ import (
 	"laperm/internal/smx"
 )
 
-// Sample is one point of a run's timeline, covering the window since the
-// previous sample.
+// Sample is one point of a run's timeline. Rate fields (IPC, hit rates,
+// stall and dispatch counts) cover the window since the previous sample;
+// occupancy and queue-depth fields are instantaneous.
 type Sample struct {
 	// Cycle is the sample position.
 	Cycle uint64
@@ -23,6 +24,26 @@ type Sample struct {
 	// LiveKernels is the instantaneous count of incomplete kernel
 	// instances.
 	LiveKernels int
+	// SMXResident is the instantaneous per-SMX resident thread-block
+	// count (index = SMX ID).
+	SMXResident []int
+	// PendingArrivals counts launches still waiting out their launch
+	// latency; KMUQueued instances queued at the KMU for a KDU entry;
+	// KDUUsed occupied KDU entries; AggEntries DTBL aggregation-buffer
+	// entries in use.
+	PendingArrivals int
+	KMUQueued       int
+	KDUUsed         int
+	AggEntries      int
+	// TBsDispatched counts thread blocks dispatched during the window.
+	TBsDispatched uint64
+	// MemStalls and LaunchStalls count warp-cycles spent stalled in the
+	// window on a full MSHR table / full launch queue.
+	MemStalls    int64
+	LaunchStalls int64
+	// L1ParentChild is the windowed parent-child share of classified L1
+	// hits (0 unless Options.Attribution is on).
+	L1ParentChild float64
 }
 
 // Result is the outcome of one simulation run.
@@ -42,6 +63,13 @@ type Result struct {
 	// banks.
 	L1 mem.Stats
 	L2 mem.Stats
+	// L1Reuse and L2Reuse break the caches' hits down by the relationship
+	// between the accessing kernel instance and the one that installed
+	// the line (self / parent-child / sibling / cross) — the repo-native
+	// Figure 3 locality evidence. Zero-valued unless Options.Attribution
+	// was set.
+	L1Reuse mem.ReuseStats
+	L2Reuse mem.ReuseStats
 	// DRAMTransactions counts 128-byte off-chip transfers.
 	DRAMTransactions int64
 
@@ -76,28 +104,51 @@ type Result struct {
 	PeakKMUPending int
 	PeakAggEntries int
 
-	// Samples is the run timeline when Options.SampleEvery was set.
-	Samples []Sample
+	// Timeline is the run's sampled timeline when Options.SampleEvery was
+	// set, one Sample per window.
+	Timeline []Sample
 }
 
 // sampleBase holds the cumulative counters at the previous sample, so each
 // Sample reports windowed rates.
 type sampleBase struct {
-	cycle       uint64
-	threadInsts int64
-	l1, l2      mem.Stats
+	cycle         uint64
+	threadInsts   int64
+	l1, l2        mem.Stats
+	l1Reuse       mem.ReuseStats
+	tbsDispatched uint64
+	memStalls     int64
+	launchStalls  int64
 }
 
 func (s *Simulator) takeSample() {
-	var insts int64
+	var insts, memStalls, launchStalls int64
 	resident := 0
-	for _, x := range s.smxs {
-		insts += x.Stats().ThreadInsts
-		resident += x.ResidentBlocks()
+	perSMX := make([]int, len(s.smxs))
+	for i, x := range s.smxs {
+		st := x.Stats()
+		insts += st.ThreadInsts
+		memStalls += st.MemStallEvents
+		launchStalls += st.LaunchStallEvents
+		perSMX[i] = x.ResidentBlocks()
+		resident += perSMX[i]
 	}
 	l1, l2 := s.memsys.L1Total(), s.memsys.L2Total()
+	l1Reuse := s.memsys.L1Reuse()
 	window := s.now - s.lastSample.cycle
-	smp := Sample{Cycle: s.now, ResidentTBs: resident, LiveKernels: s.live}
+	smp := Sample{
+		Cycle:           s.now,
+		ResidentTBs:     resident,
+		LiveKernels:     s.live,
+		SMXResident:     perSMX,
+		PendingArrivals: s.pendingArrivals(),
+		KMUQueued:       s.kmuCount,
+		KDUUsed:         s.kduUsed,
+		AggEntries:      s.aggUsed,
+		TBsDispatched:   s.tbsDispatched - s.lastSample.tbsDispatched,
+		MemStalls:       memStalls - s.lastSample.memStalls,
+		LaunchStalls:    launchStalls - s.lastSample.launchStalls,
+	}
 	if window > 0 {
 		smp.IPC = float64(insts-s.lastSample.threadInsts) / float64(window)
 	}
@@ -107,8 +158,23 @@ func (s *Simulator) takeSample() {
 	if d := l2.Accesses - s.lastSample.l2.Accesses; d > 0 {
 		smp.L2 = float64(l2.Hits-s.lastSample.l2.Hits) / float64(d)
 	}
+	if d := l1Reuse.Total() - s.lastSample.l1Reuse.Total(); d > 0 {
+		smp.L1ParentChild = float64(l1Reuse.ParentChild-s.lastSample.l1Reuse.ParentChild) / float64(d)
+	}
 	s.samples = append(s.samples, smp)
-	s.lastSample = sampleBase{cycle: s.now, threadInsts: insts, l1: l1, l2: l2}
+	s.lastSample = sampleBase{
+		cycle:         s.now,
+		threadInsts:   insts,
+		l1:            l1,
+		l2:            l2,
+		l1Reuse:       l1Reuse,
+		tbsDispatched: s.tbsDispatched,
+		memStalls:     memStalls,
+		launchStalls:  launchStalls,
+	}
+	if s.traceSmp != nil {
+		s.traceSmp(smp)
+	}
 }
 
 func (s *Simulator) result() *Result {
@@ -153,7 +219,9 @@ func (s *Simulator) result() *Result {
 		r.AvgChildWait = waitSum / float64(waitN)
 	}
 	r.LoadImbalance = imbalance(r.SMXStats)
-	r.Samples = s.samples
+	r.L1Reuse = s.memsys.L1Reuse()
+	r.L2Reuse = s.memsys.L2Reuse()
+	r.Timeline = s.samples
 	return r
 }
 

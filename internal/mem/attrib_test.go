@@ -1,0 +1,149 @@
+package mem
+
+import "testing"
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name         string
+		acc          Accessor
+		inst, parent int32
+		want         ReuseClass
+	}{
+		{"self", Accessor{Inst: 3, Parent: 1}, 3, 1, ReuseSelf},
+		{"child hits parent line", Accessor{Inst: 3, Parent: 1}, 1, -1, ReuseParentChild},
+		{"parent hits child line", Accessor{Inst: 1, Parent: -1}, 3, 1, ReuseParentChild},
+		{"siblings", Accessor{Inst: 3, Parent: 1}, 4, 1, ReuseSibling},
+		{"unrelated", Accessor{Inst: 3, Parent: 1}, 7, 5, ReuseCross},
+		{"untagged installer", Accessor{Inst: 3, Parent: 1}, -1, -1, ReuseCross},
+		{"untagged accessor", NoAccessor, 3, 1, ReuseCross},
+		// Two host kernels (both Parent == -1) must not read as siblings
+		// or as parent-child through the -1 sentinel.
+		{"two host kernels", Accessor{Inst: 2, Parent: -1}, 1, -1, ReuseCross},
+	}
+	for _, c := range cases {
+		if got := c.acc.classify(c.inst, c.parent); got != c.want {
+			t.Errorf("%s: classify(%d,%d) by %+v = %v, want %v",
+				c.name, c.inst, c.parent, c.acc, got, c.want)
+		}
+	}
+}
+
+func TestAttributionCountsHitsOnly(t *testing.T) {
+	c := NewCache(4, 2)
+	c.SetAttribution(true)
+	parent := Accessor{Inst: 1, Parent: -1}
+	child := Accessor{Inst: 2, Parent: 1}
+
+	if c.AccessAs(10, parent) { // cold miss installs under parent
+		t.Fatal("unexpected hit")
+	}
+	if c.Reuse().Total() != 0 {
+		t.Fatalf("miss was classified: %v", c.Reuse())
+	}
+	if !c.AccessAs(10, child) {
+		t.Fatal("expected hit")
+	}
+	if r := c.Reuse(); r.ParentChild != 1 || r.Total() != 1 {
+		t.Errorf("reuse = %v, want exactly one parent-child hit", r)
+	}
+}
+
+func TestInstallerKeepsOwnershipAcrossHits(t *testing.T) {
+	c := NewCache(4, 2)
+	c.SetAttribution(true)
+	parent := Accessor{Inst: 1, Parent: -1}
+	childA := Accessor{Inst: 2, Parent: 1}
+	childB := Accessor{Inst: 3, Parent: 1}
+
+	c.AccessAs(10, parent)
+	c.AccessAs(10, childA) // parent-child, must NOT retag to childA
+	if !c.AccessAs(10, childB) {
+		t.Fatal("expected hit")
+	}
+	r := c.Reuse()
+	// If childA's hit had retagged the line, childB would classify as
+	// sibling instead of parent-child.
+	if r.ParentChild != 2 || r.Sibling != 0 {
+		t.Errorf("reuse = %v, want 2 parent-child (installer keeps ownership)", r)
+	}
+}
+
+func TestEvictionResetsOwnership(t *testing.T) {
+	c := NewCache(1, 1) // single line: every allocation evicts
+	c.SetAttribution(true)
+	parent := Accessor{Inst: 1, Parent: -1}
+	child := Accessor{Inst: 2, Parent: 1}
+	other := Accessor{Inst: 7, Parent: 6}
+
+	c.AccessAs(10, parent)
+	c.AccessAs(20, other) // evicts line 10, installs under other
+	if c.AccessAs(10, child) {
+		t.Fatal("line 10 must have been evicted")
+	}
+	// Line 10 is now installed by child itself; a re-access is self.
+	c.AccessAs(10, child)
+	r := c.Reuse()
+	if r.Self != 1 || r.ParentChild != 0 {
+		t.Errorf("reuse = %v, want one self hit after reinstall", r)
+	}
+}
+
+func TestAttributionOffIsFree(t *testing.T) {
+	tagged := NewCache(4, 2)
+	plain := NewCache(4, 2)
+	acc := Accessor{Inst: 5, Parent: 2}
+	seq := []uint64{1, 2, 3, 1, 2, 9, 1, 17, 3}
+	for _, id := range seq {
+		a := tagged.AccessAs(id, acc)
+		b := plain.Access(id)
+		if a != b {
+			t.Fatalf("line %d: tagged hit=%v, plain hit=%v", id, a, b)
+		}
+	}
+	if tagged.Stats() != plain.Stats() {
+		t.Errorf("stats diverged: %v vs %v", tagged.Stats(), plain.Stats())
+	}
+	if tagged.Reuse().Total() != 0 {
+		t.Errorf("attribution off but hits classified: %v", tagged.Reuse())
+	}
+}
+
+func TestReuseStatsShareAndAdd(t *testing.T) {
+	r := ReuseStats{Self: 2, ParentChild: 6, Sibling: 1, Cross: 1}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if got := r.Share(ReuseParentChild); got != 0.6 {
+		t.Errorf("parent-child share = %v, want 0.6", got)
+	}
+	if got := (ReuseStats{}).Share(ReuseSelf); got != 0 {
+		t.Errorf("empty share = %v, want 0", got)
+	}
+	var sum ReuseStats
+	sum.Add(r)
+	sum.Add(r)
+	if sum.Total() != 20 || sum.ParentChild != 12 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+// TestSystemStoreDoesNotTagL1 pins the write-through contract: a store to a
+// resident line keeps the original installer, so a later load by the
+// installer's child still classifies parent-child.
+func TestSystemStoreDoesNotTagL1(t *testing.T) {
+	s := NewSystem(testCfg())
+	s.SetAttribution(true)
+	parent := Accessor{Inst: 1, Parent: -1}
+	child := Accessor{Inst: 2, Parent: 1}
+
+	if _, ok := s.LoadAs(0, 0, 0, parent); !ok {
+		t.Fatal("load rejected")
+	}
+	s.StoreAs(0, 0, 1000, child) // touches the L1 line, must not retag
+	if _, ok := s.LoadAs(0, 0, 2000, child); !ok {
+		t.Fatal("load rejected")
+	}
+	if r := s.L1Reuse(); r.ParentChild != 1 || r.Self != 0 {
+		t.Errorf("L1 reuse = %v, want one parent-child hit (store must not retag)", r)
+	}
+}

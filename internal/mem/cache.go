@@ -3,9 +3,137 @@
 // off-chip DRAM with bounded bandwidth. Timing is expressed as the core
 // cycle at which an access completes; contention is modelled with per-bank
 // and DRAM service queues, and L1 MSHRs bound outstanding misses.
+//
+// The hierarchy optionally attributes cache reuse: with attribution enabled
+// (SetAttribution), every line remembers the kernel instance that installed
+// it, and every hit is classified by the relationship between the accessor
+// and the installer — the same kernel (self), a direct parent or child
+// (parent-child), two children of the same parent (sibling), or unrelated
+// kernels (cross). This is the repo-native version of the paper's Figure 3
+// locality analysis: LaPerm's claim is precisely that its schedulers raise
+// the parent-child share of L1 hits. Attribution is off by default and the
+// tagged access paths reduce to the untagged ones, so timing and hit/miss
+// behaviour are identical either way.
 package mem
 
 import "fmt"
+
+// ReuseClass classifies a cache hit by the relationship between the kernel
+// instance performing the access and the one that installed the line.
+type ReuseClass uint8
+
+const (
+	// ReuseSelf: the accessing instance installed the line itself.
+	ReuseSelf ReuseClass = iota
+	// ReuseParentChild: the line was installed by the accessor's direct
+	// parent, or the accessor is the installer's direct parent.
+	ReuseParentChild
+	// ReuseSibling: installer and accessor are distinct children of the
+	// same parent instance.
+	ReuseSibling
+	// ReuseCross: any other relationship, including lines installed by
+	// untagged accesses.
+	ReuseCross
+)
+
+// String returns the class name as used in reports and CSV headers.
+func (c ReuseClass) String() string {
+	switch c {
+	case ReuseSelf:
+		return "self"
+	case ReuseParentChild:
+		return "parent-child"
+	case ReuseSibling:
+		return "sibling"
+	case ReuseCross:
+		return "cross"
+	}
+	return fmt.Sprintf("ReuseClass(%d)", int(c))
+}
+
+// Accessor identifies the kernel instance behind a memory access for reuse
+// attribution: its instance ID and its direct parent's (-1 for host kernels
+// and for accesses outside any instance).
+type Accessor struct {
+	Inst   int32
+	Parent int32
+}
+
+// NoAccessor is the identity of untagged accesses; hits on lines it installs
+// classify as ReuseCross.
+var NoAccessor = Accessor{Inst: -1, Parent: -1}
+
+// classify relates a line installed by (inst, parent) to accessor a.
+func (a Accessor) classify(inst, parent int32) ReuseClass {
+	switch {
+	case inst < 0 || a.Inst < 0:
+		return ReuseCross
+	case inst == a.Inst:
+		return ReuseSelf
+	case inst == a.Parent || parent == a.Inst:
+		return ReuseParentChild
+	case parent >= 0 && parent == a.Parent:
+		return ReuseSibling
+	}
+	return ReuseCross
+}
+
+// ReuseStats counts classified hits per reuse class.
+type ReuseStats struct {
+	Self        int64
+	ParentChild int64
+	Sibling     int64
+	Cross       int64
+}
+
+// Total returns the number of classified hits.
+func (r ReuseStats) Total() int64 { return r.Self + r.ParentChild + r.Sibling + r.Cross }
+
+// Share returns the given class's fraction of classified hits (0 for an
+// empty breakdown).
+func (r ReuseStats) Share(c ReuseClass) float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	switch c {
+	case ReuseSelf:
+		return float64(r.Self) / float64(t)
+	case ReuseParentChild:
+		return float64(r.ParentChild) / float64(t)
+	case ReuseSibling:
+		return float64(r.Sibling) / float64(t)
+	case ReuseCross:
+		return float64(r.Cross) / float64(t)
+	}
+	return 0
+}
+
+// Add accumulates o into r.
+func (r *ReuseStats) Add(o ReuseStats) {
+	r.Self += o.Self
+	r.ParentChild += o.ParentChild
+	r.Sibling += o.Sibling
+	r.Cross += o.Cross
+}
+
+func (r *ReuseStats) count(c ReuseClass) {
+	switch c {
+	case ReuseSelf:
+		r.Self++
+	case ReuseParentChild:
+		r.ParentChild++
+	case ReuseSibling:
+		r.Sibling++
+	case ReuseCross:
+		r.Cross++
+	}
+}
+
+func (r ReuseStats) String() string {
+	return fmt.Sprintf("self %d, parent-child %d, sibling %d, cross %d",
+		r.Self, r.ParentChild, r.Sibling, r.Cross)
+}
 
 // Stats accumulates access counts for one cache.
 type Stats struct {
@@ -38,6 +166,12 @@ type cacheLine struct {
 	tag     uint64
 	valid   bool
 	lastUse uint64
+	// inst and parent identify the kernel instance that installed the
+	// line (attribution only; -1 when untagged). The installer keeps
+	// ownership across hits: a line a parent installed stays attributed
+	// to the parent however many children re-reference it.
+	inst   int32
+	parent int32
 }
 
 // Cache is a set-associative cache with true LRU replacement over 128-byte
@@ -47,6 +181,8 @@ type Cache struct {
 	numSets uint64
 	useTick uint64
 	stats   Stats
+	attrib  bool
+	reuse   ReuseStats
 }
 
 // NewCache builds a cache with the given set count and associativity.
@@ -66,13 +202,29 @@ func NewCache(numSets, assoc int) *Cache {
 // line size), allocating it on a miss, and reports whether it hit. The
 // access is counted in the cache's statistics.
 func (c *Cache) Access(lineID uint64) bool {
-	hit := c.access(lineID, true)
+	return c.AccessAs(lineID, NoAccessor)
+}
+
+// AccessAs is Access carrying the accessing kernel instance's identity.
+// With attribution enabled the line is tagged on allocation and a hit is
+// classified into the cache's ReuseStats; otherwise it behaves exactly like
+// Access.
+func (c *Cache) AccessAs(lineID uint64, acc Accessor) bool {
+	hit := c.access(lineID, acc, true)
 	c.stats.Accesses++
 	if hit {
 		c.stats.Hits++
 	}
 	return hit
 }
+
+// SetAttribution enables or disables reuse attribution. Toggling it does not
+// clear existing tags or accumulated ReuseStats.
+func (c *Cache) SetAttribution(on bool) { c.attrib = on }
+
+// Reuse returns the accumulated hit-classification breakdown (zero unless
+// attribution was enabled).
+func (c *Cache) Reuse() ReuseStats { return c.reuse }
 
 // Probe reports whether the line is present without allocating or touching
 // LRU state or statistics.
@@ -87,18 +239,22 @@ func (c *Cache) Probe(lineID uint64) bool {
 }
 
 // Touch updates the line's LRU position if present without allocating; used
-// for write-through-no-allocate stores that hit. Not counted in statistics.
+// for write-through-no-allocate stores that hit. Not counted in statistics
+// and never reclassifies or retags the line.
 func (c *Cache) Touch(lineID uint64) bool {
-	return c.access(lineID, false)
+	return c.access(lineID, NoAccessor, false)
 }
 
-func (c *Cache) access(lineID uint64, allocate bool) bool {
+func (c *Cache) access(lineID uint64, acc Accessor, allocate bool) bool {
 	c.useTick++
 	set := c.sets[lineID%c.numSets]
 	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == lineID {
 			set[i].lastUse = c.useTick
+			if c.attrib && allocate {
+				c.reuse.count(acc.classify(set[i].inst, set[i].parent))
+			}
 			return true
 		}
 		if set[i].lastUse < set[victim].lastUse || !set[i].valid && set[victim].valid {
@@ -113,7 +269,8 @@ func (c *Cache) access(lineID uint64, allocate bool) bool {
 				break
 			}
 		}
-		set[victim] = cacheLine{tag: lineID, valid: true, lastUse: c.useTick}
+		set[victim] = cacheLine{tag: lineID, valid: true, lastUse: c.useTick,
+			inst: acc.Inst, parent: acc.Parent}
 	}
 	return false
 }

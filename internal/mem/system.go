@@ -117,14 +117,14 @@ func (s *System) l2Place(lineID uint64) (bank int, placeID uint64) {
 // l2Access performs the shared-L2 leg of an access, returning the completion
 // cycle. The access occupies the bank's single service port for one cycle;
 // on a miss it additionally queues for DRAM.
-func (s *System) l2Access(lineID, now uint64) uint64 {
+func (s *System) l2Access(lineID, now uint64, acc Accessor) uint64 {
 	bank, placeID := s.l2Place(lineID)
 	start := now
 	if s.l2Next[bank] > start {
 		start = s.l2Next[bank]
 	}
 	s.l2Next[bank] = start + 1
-	if s.l2[bank].Access(placeID) {
+	if s.l2[bank].AccessAs(placeID, acc) {
 		return start + uint64(s.cfg.L2HitLatency)
 	}
 	return s.dramAccess(start)
@@ -151,6 +151,13 @@ func (s *System) dramAccess(ready uint64) uint64 {
 // SMX's MSHRs are full (the caller must retry on a later cycle; the access
 // is not counted).
 func (s *System) Load(smx int, lineAddr, now uint64) (complete uint64, ok bool) {
+	return s.LoadAs(smx, lineAddr, now, NoAccessor)
+}
+
+// LoadAs is Load carrying the accessing kernel instance's identity for reuse
+// attribution. A hit that merges with an outstanding MSHR entry is not
+// classified: the data was not in the cache, so no reuse occurred.
+func (s *System) LoadAs(smx int, lineAddr, now uint64, acc Accessor) (complete uint64, ok bool) {
 	lineID := lineAddr / config.LineSize
 	l1 := s.l1[s.cfg.ClusterOf(smx)]
 	tbl := s.mshr[s.cfg.ClusterOf(smx)]
@@ -163,7 +170,7 @@ func (s *System) Load(smx int, lineAddr, now uint64) (complete uint64, ok bool) 
 		return c, true
 	}
 	if l1.Probe(lineID) {
-		l1.Access(lineID) // counts the hit and updates LRU
+		l1.AccessAs(lineID, acc) // counts the hit and updates LRU
 		return now + uint64(s.cfg.L1HitLatency), true
 	}
 	// Miss: needs an MSHR before it can allocate and go to L2. A full
@@ -171,8 +178,8 @@ func (s *System) Load(smx int, lineAddr, now uint64) (complete uint64, ok bool) 
 	if tbl.full(now) {
 		return 0, false
 	}
-	l1.Access(lineID) // counts the miss and allocates the fill target
-	c := s.l2Access(lineID, now)
+	l1.AccessAs(lineID, acc) // counts the miss and allocates the fill target
+	c := s.l2Access(lineID, now, acc)
 	tbl.add(lineID, c)
 	return c, true
 }
@@ -183,10 +190,48 @@ func (s *System) Load(smx int, lineAddr, now uint64) (complete uint64, ok bool) 
 // (write-allocate). Stores do not occupy MSHRs and never stall the issuing
 // warp; the returned cycle is when the store drains, for accounting only.
 func (s *System) Store(smx int, lineAddr, now uint64) uint64 {
+	return s.StoreAs(smx, lineAddr, now, NoAccessor)
+}
+
+// StoreAs is Store carrying the accessing kernel instance's identity. The
+// write-through L1 touch neither classifies nor retags; the L2 leg tags the
+// allocated line and classifies an L2 hit like a load would.
+func (s *System) StoreAs(smx int, lineAddr, now uint64, acc Accessor) uint64 {
 	lineID := lineAddr / config.LineSize
 	s.l1[s.cfg.ClusterOf(smx)].Touch(lineID)
 	s.storeAccesses++
-	return s.l2Access(lineID, now)
+	return s.l2Access(lineID, now, acc)
+}
+
+// SetAttribution enables reuse attribution on every cache in the hierarchy.
+// Off (the default), tagged accesses behave exactly like untagged ones and
+// the reuse breakdowns stay zero.
+func (s *System) SetAttribution(on bool) {
+	for _, c := range s.l1 {
+		c.SetAttribution(on)
+	}
+	for _, c := range s.l2 {
+		c.SetAttribution(on)
+	}
+}
+
+// L1Reuse returns the hit-classification breakdown aggregated over all L1s.
+func (s *System) L1Reuse() ReuseStats {
+	var t ReuseStats
+	for _, c := range s.l1 {
+		t.Add(c.Reuse())
+	}
+	return t
+}
+
+// L2Reuse returns the hit-classification breakdown aggregated over all L2
+// banks.
+func (s *System) L2Reuse() ReuseStats {
+	var t ReuseStats
+	for _, c := range s.l2 {
+		t.Add(c.Reuse())
+	}
+	return t
 }
 
 // L1Stats returns the load statistics of the L1 serving the given SMX (its

@@ -71,6 +71,12 @@ type Block struct {
 	Seq uint64
 	// DispatchCycle records when the block was placed on the SMX.
 	DispatchCycle uint64
+	// TBIndex is the block's index within its grid (-1 when the engine
+	// did not supply one), for trace pairing of dispatch and retirement.
+	TBIndex int
+	// Tag is the reuse-attribution identity every memory access of the
+	// block carries (mem.NoAccessor when untagged).
+	Tag mem.Accessor
 
 	warps     []*warp
 	arrived   int // warps waiting at the current barrier
@@ -172,16 +178,25 @@ func (s *SMX) CanFit(tb *isa.TB) bool {
 		s.usedShmem+tb.SharedMemBytes <= s.cfg.SharedMemPerSMX
 }
 
-// AddBlock places a thread block on the SMX. The caller must have checked
-// CanFit; AddBlock panics otherwise.
+// AddBlock places a thread block on the SMX with no attribution identity
+// (tests and standalone use). The caller must have checked CanFit; AddBlock
+// panics otherwise.
 func (s *SMX) AddBlock(tb *isa.TB, owner any, now uint64) *Block {
+	return s.AddBlockAttr(tb, owner, -1, mem.NoAccessor, now)
+}
+
+// AddBlockAttr is AddBlock carrying the block's grid index and the
+// reuse-attribution accessor its memory accesses are tagged with. Both are
+// set before any retirement callback can fire, so even an empty block's
+// BlockDone observes them.
+func (s *SMX) AddBlockAttr(tb *isa.TB, owner any, tbIndex int, tag mem.Accessor, now uint64) *Block {
 	if !s.CanFit(tb) {
 		panic(fmt.Sprintf("smx %d: AddBlock without resources for %d threads", s.ID, tb.Threads))
 	}
 	if now < s.nextReady {
 		s.nextReady = now
 	}
-	b := &Block{Prog: tb, Owner: owner, Seq: *s.nextSeq, DispatchCycle: now}
+	b := &Block{Prog: tb, Owner: owner, Seq: *s.nextSeq, DispatchCycle: now, TBIndex: tbIndex, Tag: tag}
 	*s.nextSeq++
 	s.usedThreads += tb.Threads
 	s.usedRegs += tb.Registers()
@@ -361,11 +376,11 @@ func (s *SMX) issueMem(w *warp, in *isa.Inst, now uint64) bool {
 		if isStore {
 			// Stores retire without blocking the warp; the drain
 			// cycle is accounted inside the memory system.
-			s.mem.Store(s.ID, line, now)
+			s.mem.StoreAs(s.ID, line, now, w.block.Tag)
 			done = now + 1
 		} else {
 			var ok bool
-			done, ok = s.mem.Load(s.ID, line, now)
+			done, ok = s.mem.LoadAs(s.ID, line, now, w.block.Tag)
 			if !ok {
 				// MSHRs full: retry remaining transactions
 				// next cycle.

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto export: the recorded trace rendered in the Chrome trace_event
+// JSON format understood by ui.perfetto.dev and chrome://tracing. One
+// simulated cycle maps to one microsecond of trace time. The track layout:
+//
+//   - process "SMXs" (pid 1): one thread per SMX. Thread blocks appear as
+//     complete ("X") slices spanning dispatch to retirement; launch stalls
+//     and queue overflows as instant ("i") events on the stalling SMX.
+//   - process "Kernels" (pid 2): each kernel instance is an async span
+//     ("b"/"e") keyed by its instance ID, opened at launch and closed at
+//     completion, with an async instant ("n") marking KMU/scheduler
+//     arrival.
+//   - process "Counters" (pid 3): timeline samples become counter ("C")
+//     tracks — IPC, cache hit rates, resident TBs, live kernels, queue
+//     depths, windowed stalls, and the windowed parent-child L1 share.
+
+const (
+	pidSMX      = 1
+	pidKernels  = 2
+	pidCounters = 3
+)
+
+// perfettoEvent is one trace_event entry. Args is a map so json.Marshal
+// emits keys sorted, keeping the output byte-stable.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoTrace struct {
+	TraceEvents []perfettoEvent `json:"traceEvents"`
+}
+
+// WritePerfetto renders the recorder's events (FinishRun must have been
+// called) as Chrome trace_event JSON.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	return WritePerfetto(w, r.events)
+}
+
+// WritePerfetto renders a cycle-ordered event list as Chrome trace_event
+// JSON loadable in ui.perfetto.dev.
+func WritePerfetto(w io.Writer, events []Event) error {
+	out := metadataEvents(events)
+	for i := range events {
+		out = append(out, convertEvent(&events[i])...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoTrace{TraceEvents: out})
+}
+
+// metadataEvents names the processes and the per-SMX threads seen in the
+// trace.
+func metadataEvents(events []Event) []perfettoEvent {
+	out := []perfettoEvent{
+		meta("process_name", pidSMX, 0, "SMXs"),
+		meta("process_name", pidKernels, 0, "Kernels"),
+		meta("process_name", pidCounters, 0, "Counters"),
+	}
+	smxs := map[int]bool{}
+	for i := range events {
+		if events[i].SMX >= 0 {
+			smxs[events[i].SMX] = true
+		}
+	}
+	ids := make([]int, 0, len(smxs))
+	for id := range smxs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, meta("thread_name", pidSMX, id, fmt.Sprintf("SMX %d", id)))
+	}
+	return out
+}
+
+func meta(kind string, pid, tid int, name string) perfettoEvent {
+	return perfettoEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}}
+}
+
+func convertEvent(e *Event) []perfettoEvent {
+	switch e.Kind {
+	case TBCompleted:
+		dur := e.Dur
+		if dur == 0 {
+			dur = 1 // zero-length slices are invisible in the UI
+		}
+		return []perfettoEvent{{
+			Name: fmt.Sprintf("%s#%d tb%d", e.Name, e.Kernel, e.TB),
+			Ph:   "X", Cat: "tb",
+			Ts: e.Cycle - e.Dur, Dur: dur,
+			Pid: pidSMX, Tid: e.SMX,
+			Args: map[string]any{
+				"kernel": e.Kernel, "tb": e.TB,
+				"priority": e.Priority, "parent": e.Parent,
+			},
+		}}
+	case KernelLaunched:
+		return []perfettoEvent{kernelSpan(e, "b")}
+	case KernelArrived:
+		return []perfettoEvent{kernelSpan(e, "n")}
+	case KernelCompleted:
+		return []perfettoEvent{kernelSpan(e, "e")}
+	case LaunchStalled, QueueOverflow:
+		return []perfettoEvent{{
+			Name: fmt.Sprintf("%s %s", string(e.Kind), e.Queue),
+			Ph:   "i", Cat: "stall", S: "t",
+			Ts: e.Cycle, Pid: pidSMX, Tid: e.SMX,
+			Args: map[string]any{"child": e.Name, "parent": e.Parent},
+		}}
+	case SampleTaken:
+		return sampleCounters(e)
+	case TBDispatched:
+		// Dispatch is already the left edge of the TBCompleted slice.
+		return nil
+	}
+	return nil
+}
+
+// kernelSpan builds one leg of a kernel instance's async span; the instance
+// ID correlates begin, arrival instant, and end.
+func kernelSpan(e *Event, ph string) perfettoEvent {
+	return perfettoEvent{
+		Name: fmt.Sprintf("%s#%d", e.Name, e.Kernel),
+		Ph:   ph, Cat: "kernel",
+		Ts: e.Cycle, Pid: pidKernels, Tid: 0, ID: e.Kernel + 1,
+		Args: map[string]any{"priority": e.Priority, "parent": e.Parent},
+	}
+}
+
+// sampleCounters fans one timeline sample out into counter tracks.
+func sampleCounters(e *Event) []perfettoEvent {
+	s := e.Sample
+	if s == nil {
+		return nil
+	}
+	counter := func(name string, args map[string]any) perfettoEvent {
+		return perfettoEvent{Name: name, Ph: "C", Ts: e.Cycle,
+			Pid: pidCounters, Tid: 0, Args: args}
+	}
+	occ := map[string]any{}
+	for i, n := range s.SMXResident {
+		occ[fmt.Sprintf("smx%02d", i)] = n
+	}
+	out := []perfettoEvent{
+		counter("IPC", map[string]any{"ipc": s.IPC}),
+		counter("cache hit rate", map[string]any{"l1": s.L1, "l2": s.L2}),
+		counter("resident TBs", map[string]any{"tbs": s.ResidentTBs}),
+		counter("live kernels", map[string]any{"kernels": s.LiveKernels}),
+		counter("launch queues", map[string]any{
+			"pending": s.PendingArrivals, "kmu": s.KMUQueued,
+			"kdu": s.KDUUsed, "agg": s.AggEntries,
+		}),
+		counter("TBs dispatched", map[string]any{"tbs": s.TBsDispatched}),
+		counter("stall cycles", map[string]any{
+			"mem": s.MemStalls, "launch": s.LaunchStalls,
+		}),
+		counter("L1 parent-child share", map[string]any{"share": s.L1ParentChild}),
+	}
+	if len(occ) > 0 {
+		out = append(out, counter("SMX occupancy", occ))
+	}
+	return out
+}

@@ -27,6 +27,9 @@ const (
 	KernelArrived Kind = "kernel_arrived"
 	// TBDispatched: the TB scheduler placed one thread block on an SMX.
 	TBDispatched Kind = "tb_dispatched"
+	// TBCompleted: a thread block retired from its SMX; Dur holds its
+	// residency in cycles.
+	TBCompleted Kind = "tb_completed"
 	// KernelCompleted: every thread block of the instance finished.
 	KernelCompleted Kind = "kernel_completed"
 	// LaunchStalled: a warp's device-side launch found its queue (KMU
@@ -36,7 +39,35 @@ const (
 	// QueueOverflow: a DTBL launch found the aggregation buffer full and
 	// was demoted to the KMU path (DropToKMU policy).
 	QueueOverflow Kind = "queue_overflow"
+	// SampleTaken: one timeline sample window closed; Sample carries the
+	// windowed counters.
+	SampleTaken Kind = "sample"
 )
+
+// kindRank orders events sharing a cycle so traces are byte-stable: a
+// kernel launches before it arrives, dispatches before blocks complete,
+// and completes last.
+func kindRank(k Kind) int {
+	switch k {
+	case KernelLaunched:
+		return 0
+	case KernelArrived:
+		return 1
+	case LaunchStalled:
+		return 2
+	case QueueOverflow:
+		return 3
+	case TBDispatched:
+		return 4
+	case SampleTaken:
+		return 5
+	case TBCompleted:
+		return 6
+	case KernelCompleted:
+		return 7
+	}
+	return 8
+}
 
 // Event is one recorded simulation event.
 type Event struct {
@@ -53,6 +84,10 @@ type Event struct {
 	// Queue names the full launch queue ("kmu" or "agg") for
 	// LaunchStalled and QueueOverflow events.
 	Queue string `json:"queue,omitempty"`
+	// Dur is the thread block's SMX residency for TBCompleted events.
+	Dur uint64 `json:"dur,omitempty"`
+	// Sample carries the windowed counters of SampleTaken events.
+	Sample *gpu.Sample `json:"sample,omitempty"`
 }
 
 // Recorder accumulates events from one simulation run.
@@ -105,10 +140,50 @@ func (r *Recorder) QueueHook() func(gpu.QueueEvent) {
 	}
 }
 
+// BlockHook returns a function suitable for gpu.Options.TraceBlockDone
+// that records TBCompleted events with the block's SMX residency as Dur.
+func (r *Recorder) BlockHook() func(ki *gpu.KernelInstance, tbIndex, smxID int, dispatchCycle, cycle uint64) {
+	return func(ki *gpu.KernelInstance, tbIndex, smxID int, dispatchCycle, cycle uint64) {
+		r.events = append(r.events, Event{
+			Cycle:    cycle,
+			Kind:     TBCompleted,
+			Kernel:   ki.ID,
+			Name:     ki.Prog.Name,
+			Priority: ki.Priority,
+			Parent:   parentID(ki),
+			TB:       tbIndex,
+			SMX:      smxID,
+			Dur:      cycle - dispatchCycle,
+		})
+	}
+}
+
+// SampleHook returns a function suitable for gpu.Options.TraceSample that
+// records SampleTaken events carrying the windowed counters.
+func (r *Recorder) SampleHook() func(s gpu.Sample) {
+	return func(s gpu.Sample) {
+		smp := s
+		r.events = append(r.events, Event{
+			Cycle:  s.Cycle,
+			Kind:   SampleTaken,
+			Kernel: -1,
+			Parent: -1,
+			TB:     -1,
+			SMX:    -1,
+			Sample: &smp,
+		})
+	}
+}
+
 // FinishRun appends the kernel lifecycle events (launch, arrival,
-// completion) recorded in the simulator's kernel instances. Call it after
-// Run returns; events are merged in cycle order.
+// completion) recorded in the simulator's kernel instances and sorts the
+// trace. Call it after Run returns; events are ordered by cycle, with ties
+// broken by lifecycle rank, kernel ID, and TB index, so equal runs produce
+// byte-identical traces. Instances whose launch latency had not elapsed
+// when the run ended (ArriveCycle beyond the final cycle) get no
+// KernelArrived event: the arrival never happened.
 func (r *Recorder) FinishRun(sim *gpu.Simulator) {
+	end := sim.Cycle()
 	for _, ki := range sim.Kernels() {
 		base := Event{
 			Kernel:   ki.ID,
@@ -122,9 +197,11 @@ func (r *Recorder) FinishRun(sim *gpu.Simulator) {
 		launched.Cycle, launched.Kind = ki.LaunchCycle, KernelLaunched
 		r.events = append(r.events, launched)
 
-		arrived := base
-		arrived.Cycle, arrived.Kind = ki.ArriveCycle, KernelArrived
-		r.events = append(r.events, arrived)
+		if ki.ArriveCycle <= end {
+			arrived := base
+			arrived.Cycle, arrived.Kind = ki.ArriveCycle, KernelArrived
+			r.events = append(r.events, arrived)
+		}
 
 		if ki.Complete() {
 			completed := base
@@ -132,7 +209,19 @@ func (r *Recorder) FinishRun(sim *gpu.Simulator) {
 			r.events = append(r.events, completed)
 		}
 	}
-	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].Cycle < r.events[j].Cycle })
+	sort.SliceStable(r.events, func(i, j int) bool {
+		a, b := &r.events[i], &r.events[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if ra, rb := kindRank(a.Kind), kindRank(b.Kind); ra != rb {
+			return ra < rb
+		}
+		if a.Kernel != b.Kernel {
+			return a.Kernel < b.Kernel
+		}
+		return a.TB < b.TB
+	})
 }
 
 func parentID(ki *gpu.KernelInstance) int {

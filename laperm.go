@@ -51,7 +51,9 @@ import (
 	"laperm/internal/gpu"
 	"laperm/internal/isa"
 	"laperm/internal/kernels"
+	"laperm/internal/mem"
 	"laperm/internal/metrics"
+	"laperm/internal/trace"
 )
 
 // Re-exported core types. The aliases make the internal implementation
@@ -98,6 +100,30 @@ type (
 	CycleLimitError = gpu.CycleLimitError
 	// StuckKernel describes one stuck kernel inside a DeadlockError.
 	StuckKernel = gpu.StuckKernel
+	// Sample is one window of a run's sampled timeline
+	// (SimOptions.SampleEvery, Result.Timeline).
+	Sample = gpu.Sample
+	// ReuseStats breaks classified cache hits down by the relationship
+	// between the accessing kernel instance and the line's installer
+	// (SimOptions.Attribution, Result.L1Reuse/L2Reuse).
+	ReuseStats = mem.ReuseStats
+	// ReuseClass labels one such relationship.
+	ReuseClass = mem.ReuseClass
+	// TraceRecorder accumulates structured run events and exports them as
+	// JSON Lines or Chrome/Perfetto trace_event JSON.
+	TraceRecorder = trace.Recorder
+)
+
+// Cache-hit reuse classes.
+const (
+	// ReuseSelf: the accessing instance installed the line itself.
+	ReuseSelf = mem.ReuseSelf
+	// ReuseParentChild: installer and accessor are direct parent/child.
+	ReuseParentChild = mem.ReuseParentChild
+	// ReuseSibling: installer and accessor share a direct parent.
+	ReuseSibling = mem.ReuseSibling
+	// ReuseCross: any other relationship (including untagged installs).
+	ReuseCross = mem.ReuseCross
 )
 
 // Launch-queue overflow policies.
@@ -177,3 +203,8 @@ func AnalyzeFootprint(name string, k *Kernel) FootprintStats {
 
 // Experiments returns the per-table/figure experiment runners.
 func Experiments() []Experiment { return exp.All() }
+
+// NewTraceRecorder returns an empty trace recorder; attach its hooks via
+// SimOptions.TraceDispatch/TraceQueue/TraceBlockDone/TraceSample and call
+// FinishRun after Run.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
