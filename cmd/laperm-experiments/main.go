@@ -25,7 +25,8 @@ func main() {
 	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default all)")
 	workers := flag.Int("workers", 0, "max simulation cells run concurrently (0 = GOMAXPROCS; output is identical for every value)")
-	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA) on stderr")
+	progress := flag.Bool("progress", false, "report sweep progress (cells done/total, ETA, simulated cycles/sec) on stderr")
+	dense := flag.Bool("dense", false, "step the engine one cycle at a time instead of event-horizon fast-forwarding (slower, identical results)")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -40,14 +41,18 @@ func main() {
 		}
 	}()
 
-	opts := exp.Options{Workers: *workers}
+	opts := exp.Options{Workers: *workers, DenseClock: *dense}
 	if *progress {
-		opts.Progress = func(done, total int, eta time.Duration) {
-			if eta > 0 {
-				fmt.Fprintf(os.Stderr, "cells %d/%d, eta %s\n", done, total, eta.Round(time.Second))
-			} else {
-				fmt.Fprintf(os.Stderr, "cells %d/%d\n", done, total)
+		opts.Meter = exp.NewMeter()
+		opts.Progress = func(p exp.Progress) {
+			line := fmt.Sprintf("cells %d/%d", p.Done, p.Total)
+			if p.ETA > 0 {
+				line += fmt.Sprintf(", eta %s", p.ETA.Round(time.Second))
 			}
+			if p.CyclesPerSec > 0 {
+				line += fmt.Sprintf(", %.1fM sim cycles/s", p.CyclesPerSec/1e6)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	switch *scale {

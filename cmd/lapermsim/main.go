@@ -34,6 +34,7 @@ func main() {
 	timeline := flag.Uint64("timeline", 0, "sample the run every N cycles and print the timeline (single workload only)")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file (single workload only)")
 	workers := flag.Int("workers", 0, "max workloads simulated concurrently (0 = GOMAXPROCS; output order is fixed)")
+	dense := flag.Bool("dense", false, "step the engine one cycle at a time instead of event-horizon fast-forwarding (slower, identical results)")
 	flag.Parse()
 
 	names := strings.Split(*workload, ",")
@@ -82,7 +83,7 @@ func main() {
 		if len(names) > 1 {
 			fmt.Fprintf(&buf, "=== %s ===\n", names[i])
 		}
-		err := runWorkload(&buf, names[i], m, *sched, sc, *verbose, *timeline, *traceOut)
+		err := runWorkload(&buf, names[i], m, *sched, sc, *verbose, *timeline, *traceOut, *dense)
 		outs[i] = buf.String()
 		return err
 	})
@@ -98,7 +99,7 @@ func main() {
 // runWorkload simulates one workload and renders its statistics to w. Every
 // call builds a private configuration, scheduler, and simulator, so calls are
 // safe to run concurrently.
-func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels.Scale, verbose bool, timeline uint64, traceOut string) error {
+func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels.Scale, verbose bool, timeline uint64, traceOut string, dense bool) error {
 	wk, ok := kernels.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown workload %q", name)
@@ -114,6 +115,7 @@ func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels
 		Scheduler:   schedImpl,
 		Model:       m,
 		SampleEvery: timeline,
+		DenseClock:  dense,
 	}
 	if traceOut != "" {
 		rec = trace.NewRecorder()

@@ -406,10 +406,104 @@ func (a *AdaptiveBind) steal(d gpu.Dispatcher, cur, b int) (*gpu.KernelInstance,
 	return k, cur
 }
 
+// --- gpu.IdleAware implementations ---
+//
+// The fast-forward clock elides Select calls on provably idle cycles; each
+// scheduler here declares how many consecutive nil Selects prove quiescence
+// and how to replay the elided calls' state effect in O(1).
+//
+// RoundRobin and TBPri consult every SMX from a single global view and move
+// their placement cursor only on success, so one nil Select with unchanged
+// dispatch state implies all later ones: period 1, replay a no-op. (The lazy
+// fifo trimming a nil Select performs is idempotent, so eliding repeats of
+// it changes nothing observable.)
+//
+// SMXBind and AdaptiveBind consider one SMX per Select and advance their
+// round-robin cursor even on a nil slot, so only a full fruitless round over
+// all SMXs proves quiescence: period = SMX count, and the elided calls'
+// only surviving effect is that cursor advance, replayed modulo the SMX
+// count. AdaptiveBind's stage-3 backup recording reaches a per-SMX fixed
+// point within that same first nil round (with frozen queues, each slot's
+// scan re-records the same backup bank and fails the same CanFit check), so
+// no replay is needed for it.
+
+// IdleSelectPeriod implements gpu.IdleAware.
+func (r *RoundRobin) IdleSelectPeriod() int { return 1 }
+
+// SkipIdleSelects implements gpu.IdleAware: nil Selects leave RoundRobin's
+// cursor untouched, so there is nothing to replay.
+func (r *RoundRobin) SkipIdleSelects(uint64) {}
+
+// SkipEmptySelects implements gpu.IdleAware: a Select with nothing enqueued
+// only performs the idempotent lazy fifo trim, deferred safely to the next
+// real call.
+func (r *RoundRobin) SkipEmptySelects(uint64) {}
+
+// IdleSelectPeriod implements gpu.IdleAware.
+func (t *TBPri) IdleSelectPeriod() int { return 1 }
+
+// SkipIdleSelects implements gpu.IdleAware (no cursor motion on nil).
+func (t *TBPri) SkipIdleSelects(uint64) {}
+
+// SkipEmptySelects implements gpu.IdleAware (same deferred-trim argument as
+// RoundRobin).
+func (t *TBPri) SkipEmptySelects(uint64) {}
+
+// numSMXs returns the machine's SMX count (banks x cluster size).
+func (b *bindQueues) numSMXs() int { return len(b.perBank) * b.clusterSize }
+
+// advanceCursor replays n cursor increments modulo the SMX count.
+func advanceCursor(cursor int, n uint64, numSMX int) int {
+	return int((uint64(cursor) + n) % uint64(numSMX))
+}
+
+// IdleSelectPeriod implements gpu.IdleAware: one full round over the SMXs.
+func (s *SMXBind) IdleSelectPeriod() int { return s.q.numSMXs() }
+
+// SkipIdleSelects implements gpu.IdleAware: each elided nil Select would
+// have advanced the round-robin cursor by one.
+func (s *SMXBind) SkipIdleSelects(n uint64) {
+	s.cursor = advanceCursor(s.cursor, n, s.q.numSMXs())
+}
+
+// SkipEmptySelects implements gpu.IdleAware: an empty-scheduler Select has
+// the same cursor-advance-only effect as a nil one.
+func (s *SMXBind) SkipEmptySelects(n uint64) { s.SkipIdleSelects(n) }
+
+// IdleSelectPeriod implements gpu.IdleAware: one full round over the SMXs.
+func (a *AdaptiveBind) IdleSelectPeriod() int { return len(a.backup) }
+
+// SkipIdleSelects implements gpu.IdleAware: cursor advance only — the
+// backup bank recordings are already at their fixed point after the nil
+// round that proved quiescence.
+func (a *AdaptiveBind) SkipIdleSelects(n uint64) {
+	a.cursor = advanceCursor(a.cursor, n, len(a.backup))
+}
+
+// SkipEmptySelects implements gpu.IdleAware. With nothing enqueued, every
+// bank is empty, so each elided call would have cleared the considered
+// SMX's backup recording (stage 3 finds no non-empty bank) and advanced the
+// cursor; n >= one full round clears every recording.
+func (a *AdaptiveBind) SkipEmptySelects(n uint64) {
+	nb := uint64(len(a.backup))
+	r := n
+	if r > nb {
+		r = nb
+	}
+	for i := uint64(0); i < r; i++ {
+		a.backup[(uint64(a.cursor)+i)%nb] = -1
+	}
+	a.cursor = advanceCursor(a.cursor, n, len(a.backup))
+}
+
 // Compile-time interface checks.
 var (
 	_ gpu.TBScheduler = (*RoundRobin)(nil)
 	_ gpu.TBScheduler = (*TBPri)(nil)
 	_ gpu.TBScheduler = (*SMXBind)(nil)
 	_ gpu.TBScheduler = (*AdaptiveBind)(nil)
+	_ gpu.IdleAware   = (*RoundRobin)(nil)
+	_ gpu.IdleAware   = (*TBPri)(nil)
+	_ gpu.IdleAware   = (*SMXBind)(nil)
+	_ gpu.IdleAware   = (*AdaptiveBind)(nil)
 )

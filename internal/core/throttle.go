@@ -40,6 +40,33 @@ func (t *Throttled) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
 	return t.Inner.Select(&throttledDispatcher{Dispatcher: d, cap: t.MaxTBsPerSMX})
 }
 
+// IdleSelectPeriod implements gpu.IdleAware by delegation. The residency cap
+// only changes the CanFit answers the inner policy sees, and resident-TB
+// counts are frozen exactly when dispatch state is frozen, so the inner
+// policy's quiescence argument carries over unchanged. A non-IdleAware inner
+// policy opts the wrapper out (period 0).
+func (t *Throttled) IdleSelectPeriod() int {
+	if ia, ok := t.Inner.(gpu.IdleAware); ok {
+		return ia.IdleSelectPeriod()
+	}
+	return 0
+}
+
+// SkipIdleSelects implements gpu.IdleAware by delegation.
+func (t *Throttled) SkipIdleSelects(n uint64) {
+	if ia, ok := t.Inner.(gpu.IdleAware); ok {
+		ia.SkipIdleSelects(n)
+	}
+}
+
+// SkipEmptySelects implements gpu.IdleAware by delegation (the wrapper adds
+// no per-call state of its own).
+func (t *Throttled) SkipEmptySelects(n uint64) {
+	if ia, ok := t.Inner.(gpu.IdleAware); ok {
+		ia.SkipEmptySelects(n)
+	}
+}
+
 type throttledDispatcher struct {
 	gpu.Dispatcher
 	cap int
@@ -52,4 +79,7 @@ func (t *throttledDispatcher) CanFit(smxID int, tb *isa.TB) bool {
 	return t.Dispatcher.CanFit(smxID, tb)
 }
 
-var _ gpu.TBScheduler = (*Throttled)(nil)
+var (
+	_ gpu.TBScheduler = (*Throttled)(nil)
+	_ gpu.IdleAware   = (*Throttled)(nil)
+)

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"errors"
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+// clockBenchWorkloads is the bfs/amr/join trio the clock benchmarks sweep:
+// the same diverse subset the golden matrix pins, on the full K20c machine
+// at small scale so the launch latencies — and therefore the idle spans the
+// fast-forward clock elides — are the real Table I values. CDP's 5000-cycle
+// launch latency creates the longest spans, which is where the event-horizon
+// clock pays off most.
+var clockBenchWorkloads = []string{"bfs-citation", "amr", "join-uniform"}
+
+// benchClock sweeps the clock-benchmark workloads under every scheduler for
+// one (model, clocking) pair. The FastForward/Dense benchmark pairs below
+// are the perf trajectory CI records into BENCH_<run>.json: the ns_per_op
+// ratio of a pair is the end-to-end speedup of event-horizon clocking.
+func benchClock(b *testing.B, model gpu.Model, dense bool) {
+	b.Helper()
+	o := Options{Scale: kernels.ScaleSmall, DenseClock: dense}
+	ws := make([]kernels.Workload, len(clockBenchWorkloads))
+	for i, name := range clockBenchWorkloads {
+		w, ok := kernels.ByName(name)
+		if !ok {
+			b.Fatalf("%s missing", name)
+		}
+		ws[i] = w
+		w.Build(o.Scale) // warm the memoized graph inputs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			for _, sched := range SchedulerNames {
+				if _, err := RunOne(w, model, sched, o); err != nil {
+					// Some bfs cells genuinely deadlock under CDP's launch
+					// latencies with the non-priority schedulers; the
+					// watchdog fires on the same cycle under both clocks,
+					// so the pair still benchmarks identical work.
+					var dl *gpu.DeadlockError
+					if !errors.As(err, &dl) {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkClockFastForwardCDP(b *testing.B)  { benchClock(b, gpu.CDP, false) }
+func BenchmarkClockDenseCDP(b *testing.B)        { benchClock(b, gpu.CDP, true) }
+func BenchmarkClockFastForwardDTBL(b *testing.B) { benchClock(b, gpu.DTBL, false) }
+func BenchmarkClockDenseDTBL(b *testing.B)       { benchClock(b, gpu.DTBL, true) }

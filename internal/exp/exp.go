@@ -46,6 +46,16 @@ type Options struct {
 	// SampleEvery, when non-zero, records a timeline Sample every that
 	// many cycles on every run (gpu.Options.SampleEvery).
 	SampleEvery uint64
+	// DenseClock runs every cell with per-cycle stepping instead of the
+	// default event-horizon fast-forward (gpu.Options.DenseClock). The
+	// two are cycle-exact; this exists for differential testing.
+	DenseClock bool
+	// Meter, when non-nil, accumulates every cell's simulated cycles so
+	// Progress observations report sweep throughput (Progress.SimCycles,
+	// Progress.CyclesPerSec). The cell runners also strip the
+	// host-timing fields (WallTime, SimCyclesPerSec) from each Result —
+	// metered or not — keeping sweep Results bit-deterministic.
+	Meter *Meter
 }
 
 // config returns a private copy of the effective GPU configuration. Every

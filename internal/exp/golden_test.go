@@ -50,11 +50,12 @@ func goldenOptions() Options {
 
 func goldenPath() string { return filepath.Join("testdata", "golden", "matrix_tiny.json") }
 
-// snapshotMatrix runs the golden matrix and flattens it in presentation
-// order.
-func snapshotMatrix(t *testing.T) []goldenCell {
+// snapshotMatrix runs the golden matrix under the chosen clocking and
+// flattens it in presentation order.
+func snapshotMatrix(t *testing.T, dense bool) []goldenCell {
 	t.Helper()
 	o := goldenOptions()
+	o.DenseClock = dense
 	m, err := RunMatrix(o)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +90,7 @@ func snapshotMatrix(t *testing.T) []goldenCell {
 // known-good numbers instead of loose bounds. Run with -update after an
 // intentional behaviour change and commit the new file alongside it.
 func TestGoldenMatrix(t *testing.T) {
-	got := snapshotMatrix(t)
+	got := snapshotMatrix(t, false)
 
 	if *update {
 		data, err := json.MarshalIndent(got, "", "  ")
@@ -120,6 +121,34 @@ func TestGoldenMatrix(t *testing.T) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("cell %s/%s/%s drifted from golden:\n  want %+v\n  got  %+v",
+				want[i].Workload, want[i].Model, want[i].Scheduler, want[i], got[i])
+		}
+	}
+}
+
+// TestGoldenMatrixDenseClock runs the same matrix with per-cycle stepping
+// and holds it to the identical golden file: the committed snapshot pins
+// both clockings at once, so a clocking divergence surfaces as a golden
+// drift even when no differential test ran the affected cell.
+func TestGoldenMatrixDenseClock(t *testing.T) {
+	if *update {
+		t.Skip("golden file is written by TestGoldenMatrix")
+	}
+	got := snapshotMatrix(t, true)
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/exp/ -run Golden -update` to create it): %v", err)
+	}
+	var want []goldenCell
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenPath(), err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d cells, golden file has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("dense-clock cell %s/%s/%s diverges from golden:\n  want %+v\n  got  %+v",
 				want[i].Workload, want[i].Model, want[i].Scheduler, want[i], got[i])
 		}
 	}

@@ -8,11 +8,41 @@ import (
 	"time"
 )
 
-// ProgressFunc observes sweep progress: cells completed so far, the total
-// cell count, and the estimated time remaining (zero until one cell has
-// finished). Implementations must be fast; the pool invokes the callback
-// under its bookkeeping lock, so `done` is strictly increasing across calls.
-type ProgressFunc func(done, total int, eta time.Duration)
+// Progress is one sweep-progress observation delivered to a ProgressFunc.
+type Progress struct {
+	// Done counts completed cells and Total the sweep size.
+	Done, Total int
+	// Elapsed is the time since the sweep started; ETA the estimated
+	// time remaining (zero once the last cell finishes).
+	Elapsed, ETA time.Duration
+	// SimCycles is the total simulated cycles of the completed cells and
+	// CyclesPerSec the resulting host-side simulation throughput
+	// (SimCycles / Elapsed). Both are zero unless the sweep carries a
+	// Meter (Options.Meter / Pool.Meter).
+	SimCycles    uint64
+	CyclesPerSec float64
+}
+
+// ProgressFunc observes sweep progress after each completed cell.
+// Implementations must be fast; the pool invokes the callback under its
+// bookkeeping lock, so Done is strictly increasing across calls.
+type ProgressFunc func(p Progress)
+
+// Meter accumulates simulated cycles across a sweep's cells so progress
+// reporting can surface simulation throughput. Cell runners fold each
+// finished gpu.Result's cycle count into the meter (and zero the Result's
+// host-timing fields, keeping Results bit-deterministic). Safe for
+// concurrent use.
+type Meter struct{ cycles atomic.Uint64 }
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Add folds one finished cell's cycle count in.
+func (m *Meter) Add(cycles uint64) { m.cycles.Add(cycles) }
+
+// Cycles returns the total simulated cycles folded in so far.
+func (m *Meter) Cycles() uint64 { return m.cycles.Load() }
 
 // Pool runs independent simulation cells on a bounded goroutine worker pool.
 // The zero value is ready to use: Workers <= 0 means GOMAXPROCS.
@@ -29,6 +59,9 @@ type Pool struct {
 	Workers int
 	// Progress, when non-nil, is called after each completed cell.
 	Progress ProgressFunc
+	// Meter, when non-nil, supplies the simulated-cycle totals reported
+	// in Progress observations (cells must feed it; see Options.Meter).
+	Meter *Meter
 }
 
 // PanicError is a panic recovered from a worker-pool cell, surfaced as an
@@ -95,12 +128,17 @@ func (p Pool) Run(n int, fn func(i int) error) error {
 		}
 		done++
 		if p.Progress != nil {
-			var eta time.Duration
+			pr := Progress{Done: done, Total: n, Elapsed: time.Since(start)}
 			if done < n {
-				elapsed := time.Since(start)
-				eta = elapsed / time.Duration(done) * time.Duration(n-done)
+				pr.ETA = pr.Elapsed / time.Duration(done) * time.Duration(n-done)
 			}
-			p.Progress(done, n, eta)
+			if p.Meter != nil {
+				pr.SimCycles = p.Meter.Cycles()
+				if secs := pr.Elapsed.Seconds(); secs > 0 {
+					pr.CyclesPerSec = float64(pr.SimCycles) / secs
+				}
+			}
+			p.Progress(pr)
 		}
 	}
 
@@ -140,7 +178,9 @@ func runCell(i int, fn func(i int) error) (err error) {
 }
 
 // pool returns the Pool configured by these Options.
-func (o Options) pool() Pool { return Pool{Workers: o.Workers, Progress: o.Progress} }
+func (o Options) pool() Pool {
+	return Pool{Workers: o.Workers, Progress: o.Progress, Meter: o.Meter}
+}
 
 // sweep evaluates n independent cells through the Options' pool and returns
 // their results in index order, so callers render output identical to a

@@ -121,17 +121,20 @@ func TestPoolProgressMonotonicWithETA(t *testing.T) {
 	var mu sync.Mutex
 	var dones []int
 	var lastETA time.Duration
-	p := Pool{Workers: 4, Progress: func(done, total int, eta time.Duration) {
+	p := Pool{Workers: 4, Progress: func(pr Progress) {
 		mu.Lock()
 		defer mu.Unlock()
-		if total != n {
-			t.Errorf("total = %d, want %d", total, n)
+		if pr.Total != n {
+			t.Errorf("total = %d, want %d", pr.Total, n)
 		}
-		if eta < 0 {
-			t.Errorf("negative ETA %v", eta)
+		if pr.ETA < 0 {
+			t.Errorf("negative ETA %v", pr.ETA)
 		}
-		dones = append(dones, done)
-		lastETA = eta
+		if pr.SimCycles != 0 || pr.CyclesPerSec != 0 {
+			t.Errorf("meterless pool reported throughput %d cycles / %.0f c/s", pr.SimCycles, pr.CyclesPerSec)
+		}
+		dones = append(dones, pr.Done)
+		lastETA = pr.ETA
 	}}
 	if err := p.Run(n, func(int) error { time.Sleep(time.Millisecond); return nil }); err != nil {
 		t.Fatal(err)
@@ -146,6 +149,38 @@ func TestPoolProgressMonotonicWithETA(t *testing.T) {
 	}
 	if lastETA != 0 {
 		t.Errorf("final ETA = %v, want 0", lastETA)
+	}
+}
+
+// TestPoolProgressReportsMeteredThroughput pins the metered progress path:
+// cells fold simulated cycles into the pool's Meter, and every observation
+// reports a monotonically non-decreasing cycle total, with the final one
+// seeing every cell's contribution.
+func TestPoolProgressReportsMeteredThroughput(t *testing.T) {
+	const n = 8
+	const perCell = 1000
+	m := NewMeter()
+	var mu sync.Mutex
+	var last Progress
+	p := Pool{Workers: 2, Meter: m, Progress: func(pr Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if pr.SimCycles < last.SimCycles {
+			t.Errorf("SimCycles went backwards: %d after %d", pr.SimCycles, last.SimCycles)
+		}
+		last = pr
+	}}
+	if err := p.Run(n, func(i int) error { m.Add(perCell); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cycles(); got != n*perCell {
+		t.Errorf("Meter.Cycles() = %d, want %d", got, n*perCell)
+	}
+	if last.SimCycles != n*perCell {
+		t.Errorf("final Progress.SimCycles = %d, want %d", last.SimCycles, n*perCell)
+	}
+	if last.Done != n {
+		t.Errorf("final Progress.Done = %d, want %d", last.Done, n)
 	}
 }
 

@@ -232,14 +232,16 @@ func runThrottle(o Options, w io.Writer) error {
 			return nil, err
 		}
 		sched := core.NewThrottled(inner, caps[i%len(caps)])
-		sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL})
+		sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: sched, Model: gpu.DTBL, DenseClock: o.DenseClock})
 		if err != nil {
 			return nil, err
 		}
 		if err := sim.LaunchHost(wks[i/len(caps)].Build(o.Scale)); err != nil {
 			return nil, err
 		}
-		return sim.Run()
+		res, err := sim.Run()
+		o.meterResult(res)
+		return res, err
 	})
 	if err != nil {
 		return err
@@ -282,7 +284,7 @@ func runBackup(o Options, w io.Writer) error {
 		cfg := o.config()
 		ab := core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels)
 		ab.FreeBackup = variant == 2
-		sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: ab, Model: gpu.DTBL})
+		sim, err := gpu.New(gpu.Options{Config: cfg, Scheduler: ab, Model: gpu.DTBL, DenseClock: o.DenseClock})
 		if err != nil {
 			return variantResult{}, err
 		}
@@ -290,6 +292,7 @@ func runBackup(o Options, w io.Writer) error {
 			return variantResult{}, err
 		}
 		res, err := sim.Run()
+		o.meterResult(res)
 		return variantResult{res: res, steals: ab.Steals}, err
 	})
 	if err != nil {

@@ -46,6 +46,7 @@ func RunCell(w kernels.Workload, model gpu.Model, sched string, o Options,
 	gopts := gpu.Options{
 		Config: cfg, Scheduler: s, Model: model, WarpPolicy: o.WarpPolicy,
 		Attribution: o.Attribution, SampleEvery: o.SampleEvery,
+		DenseClock: o.DenseClock,
 	}
 	if customize != nil {
 		customize(&gopts)
@@ -61,7 +62,22 @@ func RunCell(w kernels.Workload, model gpu.Model, sched string, o Options,
 	if err != nil {
 		return nil, sim, fmt.Errorf("exp: %s/%v/%s: %w", w.Name, model, sched, err)
 	}
+	o.meterResult(res)
 	return res, sim, nil
+}
+
+// meterResult folds a finished cell's simulated cycles into the Options'
+// throughput meter (when one is set) and strips the Result's host-timing
+// fields, which vary run to run and would otherwise break the sweep
+// engine's bit-identical determinism contract.
+func (o Options) meterResult(r *gpu.Result) {
+	if r == nil {
+		return
+	}
+	if o.Meter != nil {
+		o.Meter.Add(r.Cycles)
+	}
+	r.WallTime, r.SimCyclesPerSec = 0, 0
 }
 
 // Cell identifies one run of the full evaluation matrix.

@@ -57,8 +57,11 @@ func (s *Simulator) runAudit() error {
 			fmt.Sprintf("kmuCount %d but queues hold %d", s.kmuCount, queued))
 	}
 
-	var live, kdu, poolKMU, poolAgg int
+	var live, kdu, poolKMU, poolAgg, schedLive int
 	for _, ki := range s.kernels {
+		if ki.enqueued && !ki.Exhausted() {
+			schedLive++
+		}
 		if ki.NextTB < 0 || ki.NextTB > len(ki.Prog.TBs) {
 			return s.invariant("tb-cursor",
 				fmt.Sprintf("kernel %d NextTB %d of %d TBs", ki.ID, ki.NextTB, len(ki.Prog.TBs)))
@@ -79,6 +82,10 @@ func (s *Simulator) runAudit() error {
 		if ki.poolAgg {
 			poolAgg++
 		}
+	}
+	if schedLive != s.schedLive {
+		return s.invariant("sched-live",
+			fmt.Sprintf("schedLive counter %d but %d enqueued instances are unexhausted", s.schedLive, schedLive))
 	}
 	if live != s.live {
 		return s.invariant("live-count",

@@ -1,0 +1,102 @@
+package gpu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"laperm/internal/config"
+	"laperm/internal/gpu"
+	"laperm/internal/isa"
+)
+
+// FuzzClockEquivalence is the adversarial version of the clock differential
+// matrix: the fuzz bytes shape a dynamic-parallelism workload (parent count,
+// launches per parent, child width, nesting, memory footprint overlap) and
+// pick a launch-queue bound, then every scheduler under both models runs the
+// same cell densely and fast-forwarded. Any byte sequence whose Results or
+// trace streams diverge is a cycle-exactness bug in the event-horizon clock.
+func FuzzClockEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(1), uint8(0), uint8(0))
+	f.Add(uint8(8), uint8(3), uint8(2), uint8(1), uint8(1))
+	f.Add(uint8(1), uint8(6), uint8(1), uint8(1), uint8(2))
+	f.Add(uint8(12), uint8(0), uint8(3), uint8(0), uint8(0))
+
+	f.Fuzz(func(t *testing.T, nParents, perParent, childTBs, nest, bound uint8) {
+		parents := int(nParents%10) + 1
+		launches := int(perParent % 3)
+		width := int(childTBs%3) + 1
+		deep := nest%2 == 1
+
+		cfg := config.SmallTest()
+		switch bound % 3 {
+		case 0: // unbounded queues
+		case 1:
+			cfg.KMUPendingCapacity = 8
+			cfg.DTBLAggBufferEntries = 4
+			cfg.DTBLOverflowPolicy = config.DropToKMU
+		case 2:
+			// StallWarp can genuinely deadlock with a saturated machine;
+			// that is fine here — the deadlock verdict itself must be
+			// clock-equivalent — but keep the blocked share small enough
+			// that most inputs exercise the completing path.
+			cfg.KMUPendingCapacity = 16
+			cfg.DTBLAggBufferEntries = 4
+			cfg.DTBLOverflowPolicy = config.StallWarp
+			deep = false
+			if max := cfg.NumSMX * cfg.TBsPerSMX / 2; parents > max {
+				parents = max
+			}
+		}
+		cfg.CDPLaunchLatency = 200 // long enough for real idle spans, short enough to fuzz fast
+
+		kb := isa.NewKernel("root")
+		for i := 0; i < parents; i++ {
+			base := uint64(i) * 2048
+			b := isa.NewTB(32).Compute(1).LoadSeq(base, 2)
+			for c := 0; c < launches; c++ {
+				child := isa.NewKernel("leaf")
+				for w := 0; w < width; w++ {
+					child.Add(isa.NewTB(32).LoadSeq(base, 2).Compute(1 + (i+c)%3).Build())
+				}
+				if deep {
+					mid := isa.NewKernel("mid").
+						Add(isa.NewTB(32).Compute(1).Launch(0, child.Build()).Build()).Build()
+					b.Launch(c, mid)
+				} else {
+					b.Launch(c, child.Build())
+				}
+			}
+			kb.Add(b.Compute(1).Build())
+		}
+		k := kb.Build()
+
+		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+			for name, mk := range clockSchedulers(&cfg) {
+				runOnce := func(dense bool) (*gpu.Result, []string, error) {
+					res, log, err := clockRun(t, dense, model, cfg, mk(), k)
+					return res, log, err
+				}
+				dense, denseLog, denseErr := runOnce(true)
+				ff, ffLog, ffErr := runOnce(false)
+				if (denseErr == nil) != (ffErr == nil) {
+					t.Fatalf("%s/%v: error divergence: dense=%v ff=%v", name, model, denseErr, ffErr)
+				}
+				if denseErr != nil {
+					if denseErr.Error() != ffErr.Error() {
+						t.Fatalf("%s/%v: error reports diverge:\ndense: %v\nff:    %v",
+							name, model, denseErr, ffErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(dense, ff) {
+					t.Fatalf("%s/%v (parents=%d launches=%d width=%d deep=%v bound=%d): Results diverge:\ndense: %+v\nff:    %+v",
+						name, model, parents, launches, width, deep, bound%3, dense, ff)
+				}
+				if !reflect.DeepEqual(denseLog, ffLog) {
+					t.Fatalf("%s/%v: trace streams diverge (%d vs %d events)",
+						name, model, len(denseLog), len(ffLog))
+				}
+			}
+		}
+	})
+}

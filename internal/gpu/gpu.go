@@ -21,6 +21,7 @@ package gpu
 
 import (
 	"fmt"
+	"time"
 
 	"laperm/internal/config"
 	"laperm/internal/isa"
@@ -88,6 +89,9 @@ type KernelInstance struct {
 
 	dispatchedAny bool
 	usesKDU       bool
+	// enqueued marks the instance as handed to the TB scheduler; together
+	// with Exhausted it drives the engine's schedLive count.
+	enqueued bool
 	// viaKMU routes the arrival: true for host kernels, CDP children,
 	// and DTBL children demoted by the DropToKMU overflow policy.
 	viaKMU bool
@@ -205,6 +209,13 @@ type Options struct {
 	// sample and watchdog tick (and once at completion), and Run returns
 	// an *InvariantError on the first violation.
 	Audit bool
+	// DenseClock disables event-horizon fast-forwarding and steps the
+	// engine one cycle at a time, the original reference behaviour. The
+	// two clockings are cycle-exact — Results, traces, and timelines are
+	// byte-identical (see DESIGN.md §9) — so this exists as a
+	// differential-testing oracle and debugging escape hatch, not a
+	// fidelity knob.
+	DenseClock bool
 }
 
 // DefaultMaxCycles is the runaway-simulation guard used when Options leaves
@@ -276,6 +287,30 @@ type Simulator struct {
 	lastProgress  progressVec
 	audit         bool
 
+	// Event-horizon clock state (clock.go). ff enables fast-forwarding;
+	// idleSched/idlePeriod cache the scheduler's IdleAware view (nil/0
+	// when it opts out); nilStreak counts consecutive nil Selects since
+	// the last dispatch-state change; pendingIdle counts elided Select
+	// polls awaiting an O(1) replay.
+	ff          bool
+	idleSched   IdleAware
+	idlePeriod  int
+	nilStreak   int
+	pendingIdle uint64
+	// pendingEmpty counts elided Select polls from cycles on which the
+	// scheduler held no unexhausted instance (schedLive == 0); they replay
+	// through SkipEmptySelects instead of SkipIdleSelects. A quiesced
+	// stretch accrues only one kind — schedLive can only change through an
+	// enqueue or a real dispatch, both of which end the stretch first.
+	pendingEmpty uint64
+	// schedLive counts kernel instances handed to the TB scheduler and not
+	// yet exhausted. At zero every Select is provably nil regardless of SMX
+	// occupancy, so the scheduler is quiescent without waiting out a nil
+	// streak — the common long-idle case where all blocks are dispatched
+	// and executing.
+	schedLive int
+	started     time.Time
+
 	hostPending []*isa.Kernel
 	ran         bool
 }
@@ -317,6 +352,12 @@ func New(opts Options) (*Simulator, error) {
 		sampleEvery:   opts.SampleEvery,
 		watchdogEvery: watchdog,
 		audit:         opts.Audit,
+		ff:            !opts.DenseClock,
+	}
+	if ia, ok := opts.Scheduler.(IdleAware); ok {
+		if p := ia.IdleSelectPeriod(); p > 0 {
+			s.idleSched, s.idlePeriod = ia, p
+		}
 	}
 	if opts.Attribution {
 		s.memsys.SetAttribution(true)
@@ -456,6 +497,7 @@ func (s *Simulator) insertArrival(ki *KernelInstance) {
 
 // BlockDone implements smx.Events: a thread block retired.
 func (s *Simulator) BlockDone(smxID int, b *smx.Block, now uint64) {
+	s.dirtySched() // freed SMX resources may unblock the TB scheduler
 	ki := b.Owner.(*KernelInstance)
 	ki.DoneTBs++
 	if ki.Complete() {
@@ -542,7 +584,7 @@ func (s *Simulator) deliverArrivals() {
 			s.kmuQueue[p].push(ki)
 			s.kmuCount++
 		} else {
-			s.sched.Enqueue(ki)
+			s.enqueueSched(ki)
 		}
 	}
 	if s.arrHead == len(s.arrivals) {
@@ -587,20 +629,51 @@ func (s *Simulator) kmuDispatch() error {
 		ki.usesKDU = true
 		s.kduUsed++
 		s.kduFilled++
-		s.sched.Enqueue(ki)
+		s.enqueueSched(ki)
 	}
 	return nil
 }
 
+// enqueueSched hands an instance to the TB scheduler, maintaining the
+// schedLive count and waking the scheduler phase.
+func (s *Simulator) enqueueSched(ki *KernelInstance) {
+	s.sched.Enqueue(ki)
+	ki.enqueued = true
+	if !ki.Exhausted() {
+		s.schedLive++
+	}
+	s.dirtySched()
+}
+
 // tbDispatch runs the TB scheduler for this cycle's dispatch slots. A DTBL
 // group's aggregation-buffer entry is released when its last thread block
-// dispatches.
+// dispatches. A quiesced IdleAware scheduler is not polled: the elided nil
+// Select is counted and replayed in bulk once the scheduler wakes, so the
+// Select-call sequence it observes is identical to dense clocking.
 func (s *Simulator) tbDispatch() error {
+	if s.schedQuiesced() {
+		if s.schedLive == 0 {
+			s.pendingEmpty++
+		} else {
+			s.pendingIdle++
+		}
+		return nil
+	}
+	if s.pendingIdle > 0 {
+		s.idleSched.SkipIdleSelects(s.pendingIdle)
+		s.pendingIdle = 0
+	}
+	if s.pendingEmpty > 0 {
+		s.idleSched.SkipEmptySelects(s.pendingEmpty)
+		s.pendingEmpty = 0
+	}
 	for slot := 0; slot < s.cfg.TBDispatchPerCycle; slot++ {
 		ki, smxID := s.sched.Select(s)
 		if ki == nil {
+			s.nilStreak++
 			return nil
 		}
+		s.nilStreak = 0
 		if ki.Exhausted() {
 			return s.invariant("scheduler-contract",
 				fmt.Sprintf("scheduler %s selected exhausted kernel %d", s.sched.Name(), ki.ID))
@@ -616,9 +689,12 @@ func (s *Simulator) tbDispatch() error {
 		tbIndex := ki.NextTB
 		ki.NextTB++
 		s.tbsDispatched++
-		if ki.Exhausted() && ki.poolAgg {
-			ki.poolAgg = false
-			s.aggUsed--
+		if ki.Exhausted() {
+			s.schedLive--
+			if ki.poolAgg {
+				ki.poolAgg = false
+				s.aggUsed--
+			}
 		}
 		if !ki.dispatchedAny {
 			ki.dispatchedAny = true
@@ -638,11 +714,20 @@ func (s *Simulator) done() bool {
 // *DeadlockError when the watchdog finds a progress-free window,
 // *InvariantError when auditing detects corrupted state, and
 // *CycleLimitError when the MaxCycles guard is hit.
+//
+// The loop is a phased engine (clock.go): every processed cycle ticks each
+// phase once, in the order of the original dense loop. Under the default
+// fast-forward clock the engine then merges the phases' NextEvent horizons
+// and, when the minimum lies beyond the next cycle, credits the skipped span
+// to each phase and jumps straight to it; with Options.DenseClock it steps
+// one cycle at a time. Both clockings process the same cycles with the same
+// state, so every observable is byte-identical.
 func (s *Simulator) Run() (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("gpu: Run called twice")
 	}
 	s.ran = true
+	s.started = time.Now()
 	// Host kernels materialise as instances at cycle 0.
 	for _, k := range s.hostPending {
 		ki := &KernelInstance{ID: s.nextID, Prog: k, BoundSMX: -1, viaKMU: true}
@@ -656,33 +741,11 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	s.lastProgress = s.progress()
 
-	for ; s.now < s.maxCycles; s.now++ {
-		s.deliverArrivals()
-		if err := s.kmuDispatch(); err != nil {
-			return nil, err
-		}
-		if err := s.tbDispatch(); err != nil {
-			return nil, err
-		}
-		for _, x := range s.smxs {
-			x.Tick(s.now)
-		}
-		if s.sampleEvery > 0 && s.now > 0 && s.now%s.sampleEvery == 0 {
-			s.takeSample()
-			if s.audit {
-				if err := s.runAudit(); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if s.watchdogEvery > 0 && s.now > 0 && s.now%s.watchdogEvery == 0 {
-			if err := s.watchdogCheck(); err != nil {
+	phases := s.phases()
+	for s.now < s.maxCycles {
+		for _, ph := range phases {
+			if err := ph.Tick(s.now); err != nil {
 				return nil, err
-			}
-			if s.audit {
-				if err := s.runAudit(); err != nil {
-					return nil, err
-				}
 			}
 		}
 		if s.done() {
@@ -694,6 +757,29 @@ func (s *Simulator) Run() (*Result, error) {
 			}
 			return s.result(), nil
 		}
+		next := s.now + 1
+		if s.ff {
+			horizon := uint64(NoEvent)
+			for _, ph := range phases {
+				if h := ph.NextEvent(next); h < horizon {
+					horizon = h
+				}
+			}
+			if horizon > s.maxCycles {
+				// An all-inert machine that is not done (a deadlock
+				// with the watchdog disabled) runs out the clock, as
+				// the dense loop would.
+				horizon = s.maxCycles
+			}
+			if horizon > next {
+				span := horizon - next
+				for _, ph := range phases {
+					ph.Skip(span)
+				}
+				next = horizon
+			}
+		}
+		s.now = next
 	}
 	return nil, &CycleLimitError{
 		MaxCycles:       s.maxCycles,

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"laperm/internal/mem"
 	"laperm/internal/smx"
@@ -107,6 +108,14 @@ type Result struct {
 	// Timeline is the run's sampled timeline when Options.SampleEvery was
 	// set, one Sample per window.
 	Timeline []Sample
+
+	// WallTime is the host-side duration of Run and SimCyclesPerSec the
+	// simulation throughput (Cycles / WallTime) — the only
+	// non-deterministic fields of a Result. Sweep harnesses that compare
+	// Results bit-for-bit (internal/exp) zero them after folding the
+	// cycle count into their throughput meter.
+	WallTime        time.Duration
+	SimCyclesPerSec float64
 }
 
 // sampleBase holds the cumulative counters at the previous sample, so each
@@ -222,6 +231,10 @@ func (s *Simulator) result() *Result {
 	r.L1Reuse = s.memsys.L1Reuse()
 	r.L2Reuse = s.memsys.L2Reuse()
 	r.Timeline = s.samples
+	r.WallTime = time.Since(s.started)
+	if secs := r.WallTime.Seconds(); secs > 0 {
+		r.SimCyclesPerSec = float64(r.Cycles) / secs
+	}
 	return r
 }
 

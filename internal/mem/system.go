@@ -12,16 +12,34 @@ type mshrEntry struct {
 	complete uint64
 }
 
-// mshrTable bounds and merges outstanding misses for one SMX's L1.
+// noExpiry is the nextExpire sentinel of an empty MSHR table.
+const noExpiry = ^uint64(0)
+
+// mshrTable bounds and merges outstanding misses for one SMX's L1. An entry
+// is live at cycle t exactly while t < complete; liveness is a pure function
+// of the query cycle, so expiry is evaluated lazily — the table never needs
+// to observe the cycles in between two queries, which makes it jump-safe
+// under the engine's fast-forward clock: querying once after a skipped span
+// yields the same answers as polling every elided cycle would have.
 type mshrTable struct {
 	entries []mshrEntry
 	cap     int
+	// nextExpire caches the minimum completion cycle over entries (noExpiry
+	// when empty): prune is O(1) until that cycle arrives, and it is the
+	// exact cycle a full table frees a slot — the release horizon the
+	// fast-forward clock uses to wake MSHR-stalled warps.
+	nextExpire uint64
+	// lastAdd is the cycle of the most recent add (noExpiry before the
+	// first). A new entry can turn a stalled warp's blocked line into an
+	// MSHR merge (and, once the fill lands, an L1 hit) on the very next
+	// cycle, so lastAdd+1 is a wake horizon alongside nextExpire.
+	lastAdd uint64
 }
 
 // lookup returns the completion cycle of an outstanding miss to lineID, if
 // one exists at cycle now (expired entries are pruned first).
 func (m *mshrTable) lookup(lineID, now uint64) (uint64, bool) {
-	m.expire(now)
+	m.prune(now)
 	for i := range m.entries {
 		if m.entries[i].lineID == lineID {
 			return m.entries[i].complete, true
@@ -30,23 +48,37 @@ func (m *mshrTable) lookup(lineID, now uint64) (uint64, bool) {
 	return 0, false
 }
 
-func (m *mshrTable) expire(now uint64) {
+// prune drops entries whose fills have completed by cycle now. It is a no-op
+// until nextExpire, so steady-state queries cost one comparison.
+func (m *mshrTable) prune(now uint64) {
+	if now < m.nextExpire {
+		return
+	}
 	keep := m.entries[:0]
+	next := uint64(noExpiry)
 	for _, e := range m.entries {
 		if e.complete > now {
 			keep = append(keep, e)
+			if e.complete < next {
+				next = e.complete
+			}
 		}
 	}
 	m.entries = keep
+	m.nextExpire = next
 }
 
 func (m *mshrTable) full(now uint64) bool {
-	m.expire(now)
+	m.prune(now)
 	return len(m.entries) >= m.cap
 }
 
-func (m *mshrTable) add(lineID, complete uint64) {
+func (m *mshrTable) add(lineID, complete, now uint64) {
 	m.entries = append(m.entries, mshrEntry{lineID: lineID, complete: complete})
+	if complete < m.nextExpire {
+		m.nextExpire = complete
+	}
+	m.lastAdd = now
 }
 
 // System is the complete memory hierarchy: one L1 (with MSHRs) per SMX,
@@ -85,7 +117,7 @@ func NewSystem(cfg *config.GPU) *System {
 	}
 	for i := range s.l1 {
 		s.l1[i] = NewCache(cfg.L1Sets(), cfg.L1Assoc)
-		s.mshr[i] = &mshrTable{cap: cfg.L1MSHRs}
+		s.mshr[i] = &mshrTable{cap: cfg.L1MSHRs, nextExpire: noExpiry, lastAdd: noExpiry}
 	}
 	for i := range s.l2 {
 		s.l2[i] = NewCache(cfg.L2SetsPerBank(), cfg.L2Assoc)
@@ -145,6 +177,38 @@ func (s *System) dramAccess(ready uint64) uint64 {
 	return startMilli/1000 + uint64(s.cfg.DRAMLatency)
 }
 
+// NextStallWake returns the earliest cycle >= next at which a warp of the
+// given SMX stalled on a full MSHR table could make progress, or ^uint64(0)
+// when no such cycle is scheduled. A blocked line advances when the table
+// has a slot for it — if a slot is already free at next (expired fills can
+// linger unclaimed while the warp scheduler's issue-width starves the
+// stalled warp's retry), the retry can succeed immediately; otherwise the
+// earliest fill completion (nextExpire) is the first chance. Independently,
+// another warp's access to the same line can turn the retry into an MSHR
+// merge (and, once the fill lands, an L1 hit) — new entries appear only
+// through add, so lastAdd+1 bounds that case; a lastAdd+1 below next has
+// already been observed by a retry and never rearms.
+func (s *System) NextStallWake(smx int, next uint64) uint64 {
+	m := s.mshr[s.cfg.ClusterOf(smx)]
+	live := 0
+	for _, e := range m.entries {
+		if e.complete > next {
+			live++
+		}
+	}
+	if live < m.cap {
+		return next
+	}
+	// A full table implies no entry expires by next, so nextExpire > next.
+	wake := m.nextExpire
+	if m.lastAdd != noExpiry {
+		if a := m.lastAdd + 1; a >= next && a < wake {
+			wake = a
+		}
+	}
+	return wake
+}
+
 // Load performs one coalesced 128-byte load transaction for the given SMX at
 // cycle now. lineAddr must be line-aligned (as produced by isa.Coalesce).
 // It returns the cycle at which the data is available and ok=false if the
@@ -180,7 +244,7 @@ func (s *System) LoadAs(smx int, lineAddr, now uint64, acc Accessor) (complete u
 	}
 	l1.AccessAs(lineID, acc) // counts the miss and allocates the fill target
 	c := s.l2Access(lineID, now, acc)
-	tbl.add(lineID, c)
+	tbl.add(lineID, c, now)
 	return c, true
 }
 

@@ -159,8 +159,32 @@ type SMX struct {
 	// whose final instructions are still in flight.
 	retiring []*Block
 	// nextReady is a conservative lower bound on the next cycle any
-	// resident warp can issue; Tick returns immediately before it.
+	// non-stalled resident warp can issue or a pending block can retire;
+	// Tick returns immediately before it when no warp is stalled.
 	nextReady uint64
+	// launchStalledWarps / memStalledWarps count warps blocked on a full
+	// launch queue / MSHR table. Each such warp retries exactly once per
+	// cycle (a failed attempt sets readyAt past the current cycle), so
+	// these counts are also the per-cycle stall-event rates the
+	// fast-forward clock bulk-applies over skipped spans.
+	launchStalledWarps int
+	memStalledWarps    int
+	// scanShort records that the last issue scan stopped at the issue
+	// width (or, for TwoLevel, inside the active group) without visiting
+	// every warp: a stalled warp may have been starved of its retry, its
+	// last observation of the blocking queue or MSHR table is stale, and
+	// the stall-wake horizons cannot be trusted until a full scan runs —
+	// NextEvent pins the next cycle while this holds.
+	scanShort bool
+	// horizon/horizonAt cache the last NextEvent answer: the SMX provably
+	// cannot act on any cycle in [horizonAt, horizon), because nothing an
+	// SMX observes changes inside the window — its warps, retiring blocks,
+	// and (private) MSHR table only move when it ticks or the engine
+	// dispatches onto it, and AddBlockAttr invalidates the cache. TickFF
+	// uses the window to elide whole per-cycle ticks on processed cycles
+	// that some other component pinned.
+	horizon   uint64
+	horizonAt uint64
 }
 
 // New builds an SMX. nextSeq is a shared dispatch-sequence counter owned by
@@ -196,6 +220,7 @@ func (s *SMX) AddBlockAttr(tb *isa.TB, owner any, tbIndex int, tag mem.Accessor,
 	if now < s.nextReady {
 		s.nextReady = now
 	}
+	s.horizon = 0 // new warps can issue this very cycle
 	b := &Block{Prog: tb, Owner: owner, Seq: *s.nextSeq, DispatchCycle: now, TBIndex: tbIndex, Tag: tag}
 	*s.nextSeq++
 	s.usedThreads += tb.Threads
@@ -228,6 +253,88 @@ func (s *SMX) Idle() bool { return len(s.warps) == 0 }
 // Stats returns accumulated statistics.
 func (s *SMX) Stats() Stats { return s.stats }
 
+// NextEvent returns the earliest cycle >= next at which the SMX can make
+// progress on its own: the cached nextReady horizon (the earliest issuable
+// non-stalled warp or pending block retirement), lowered to the MSHR stall
+// wake-up bound when warps are blocked on a full MSHR table — a stalled
+// retry can only advance when the table frees a slot at a known
+// fill-completion cycle or the cycle after another warp's access makes the
+// blocked line mergeable (mem.NextStallWake covers both). Warps stalled on
+// a full launch queue contribute nothing: the queue only frees through
+// KMU/TB dispatch or a block retirement, each of which is already a horizon
+// source, and the stalled warps are re-scanned on every processed cycle. It
+// returns ^uint64(0) when the SMX holds no work at all, so the engine's
+// fast-forward clock may skip it entirely until a dispatch makes it
+// actionable again. Engine-driven changes (AddBlockAttr) lower nextReady
+// themselves, so the bound stays valid across skipped spans.
+//
+// All of this presumes every stalled warp retried on the last processed
+// cycle; when the issue scan stopped short (scanShort), a starved warp's
+// view of the blocking resource is stale and the next cycle is pinned until
+// a full scan restores the invariant.
+func (s *SMX) NextEvent(next uint64) uint64 {
+	h := s.nextEvent(next)
+	s.horizonAt, s.horizon = next, h
+	return h
+}
+
+func (s *SMX) nextEvent(next uint64) uint64 {
+	if len(s.warps) == 0 {
+		return ^uint64(0)
+	}
+	if (s.memStalledWarps > 0 || s.launchStalledWarps > 0) && s.scanShort {
+		return next
+	}
+	h := s.nextReady
+	if s.memStalledWarps > 0 {
+		if r := s.mem.NextStallWake(s.ID, next); r < h {
+			h = r
+		}
+	}
+	if h < next {
+		return next
+	}
+	return h
+}
+
+// TickFF is Tick under the fast-forward clock: when the cached NextEvent
+// window proves the SMX cannot act at cycle now, the whole tick — including
+// the per-cycle issue scan a memory-stalled SMX would otherwise pay — is
+// replaced by a one-cycle SkipIdle. This is the engine's span-skip argument
+// applied to a single SMX on a cycle some other component pinned: inside
+// [horizonAt, horizon) the SMX's warps, retiring blocks, and private MSHR
+// table cannot change except through its own tick or an engine dispatch
+// (which invalidates the cache), so every elided stall retry would have
+// failed. Warps stalled on a full launch queue disqualify the elision — the
+// queue can free through another component's action on this very cycle,
+// which the cached window does not see.
+func (s *SMX) TickFF(now uint64) {
+	if s.launchStalledWarps == 0 && s.horizonAt <= now && now < s.horizon {
+		s.SkipIdle(1)
+		return
+	}
+	s.Tick(now)
+}
+
+// SkipIdle credits an elided span of `cycles` cycles, all strictly before
+// every engine horizon, and returns the number of elided failing launch
+// attempts (for the engine's launch-backpressure cycle counter). On such
+// cycles a dense Tick counts resident occupancy and retries each stalled
+// warp exactly once — the retry must fail, since the blocking queue or MSHR
+// table cannot change state before the horizon — so bulk-adding occupancy
+// and the per-cycle stall rates here keeps Stats (and the load-imbalance
+// metric derived from them) byte-identical to dense clocking.
+func (s *SMX) SkipIdle(cycles uint64) (launchRetries uint64) {
+	if len(s.warps) == 0 {
+		return 0
+	}
+	s.stats.ResidentCycles += cycles
+	s.stats.MemStallEvents += int64(uint64(s.memStalledWarps) * cycles)
+	launchRetries = uint64(s.launchStalledWarps) * cycles
+	s.stats.LaunchStallEvents += int64(launchRetries)
+	return launchRetries
+}
+
 // Tick advances the SMX by one cycle, issuing up to IssueWidth warp
 // instructions and retiring blocks whose final instructions have drained.
 func (s *SMX) Tick(now uint64) {
@@ -235,7 +342,9 @@ func (s *SMX) Tick(now uint64) {
 		return
 	}
 	s.stats.ResidentCycles++
-	if now < s.nextReady {
+	// Stalled warps retry (and re-fail) every cycle regardless of the
+	// ready horizon, so the early return applies only to stall-free SMXs.
+	if now < s.nextReady && s.launchStalledWarps == 0 && s.memStalledWarps == 0 {
 		return
 	}
 	// Retire blocks whose last in-flight instruction has completed.
@@ -300,16 +409,26 @@ func (s *SMX) Tick(now uint64) {
 	if issued > 0 {
 		s.stats.IssueCycles++
 	}
+	// A scan that stopped early (issue width reached, or TwoLevel staying
+	// inside its active group) may have skipped a stalled warp's retry.
+	if s.policy == TwoLevel {
+		s.scanShort = issued > 0
+	} else {
+		s.scanShort = issued >= s.cfg.IssueWidth
+	}
 	if s.needSweep {
 		s.sweep()
 	}
 	// Recompute the next cycle anything can happen: the earliest issuable
 	// warp or the earliest pending block retirement. Warps waiting at a
 	// barrier are excluded: their release happens inside the tick in
-	// which the last live warp arrives, which updates readyAt.
+	// which the last live warp arrives, which updates readyAt. Stalled
+	// warps are excluded too — their failed retries re-arm readyAt every
+	// cycle and would pin the horizon; NextEvent accounts for their actual
+	// wake-up sources instead.
 	next := ^uint64(0)
 	for _, w := range s.warps {
-		if !w.done && !w.atBarrier && w.readyAt < next {
+		if !w.done && !w.atBarrier && !w.launchStalled && len(w.pending) == 0 && w.readyAt < next {
 			next = w.readyAt
 		}
 	}
@@ -346,12 +465,18 @@ func (s *SMX) issue(w *warp, now uint64) bool {
 		if !s.events.Launch(s.ID, w.block, w.block.Prog.Launches[in.Launch], now, w.launchStalled) {
 			// Launch queue full: stall the warp and retry next
 			// cycle (backpressure on the parent kernel).
-			w.launchStalled = true
+			if !w.launchStalled {
+				w.launchStalled = true
+				s.launchStalledWarps++
+			}
 			w.readyAt = now + 1
 			s.stats.LaunchStallEvents++
 			return false
 		}
-		w.launchStalled = false
+		if w.launchStalled {
+			w.launchStalled = false
+			s.launchStalledWarps--
+		}
 		w.readyAt = now + 1
 		s.count(in)
 		s.advance(w, now)
@@ -363,6 +488,7 @@ func (s *SMX) issue(w *warp, now uint64) bool {
 // issueMem issues the (possibly resumed) transactions of a memory
 // instruction. in is nil when resuming a stalled instruction.
 func (s *SMX) issueMem(w *warp, in *isa.Inst, now uint64) bool {
+	wasStalled := in == nil // resuming implies a prior MSHR rejection
 	if in != nil {
 		w.pending = isa.Coalesce(in.Addrs)
 		w.pendingMax = 0
@@ -384,6 +510,9 @@ func (s *SMX) issueMem(w *warp, in *isa.Inst, now uint64) bool {
 			if !ok {
 				// MSHRs full: retry remaining transactions
 				// next cycle.
+				if !wasStalled {
+					s.memStalledWarps++
+				}
 				w.readyAt = now + 1
 				s.stats.MemStallEvents++
 				return false
@@ -393,6 +522,9 @@ func (s *SMX) issueMem(w *warp, in *isa.Inst, now uint64) bool {
 			w.pendingMax = done
 		}
 		w.pending = w.pending[1:]
+	}
+	if wasStalled {
+		s.memStalledWarps--
 	}
 	w.readyAt = w.pendingMax
 	if isStore {
@@ -513,6 +645,19 @@ func (s *SMX) CheckInvariants() error {
 	}
 	if !s.needSweep && liveWarps != len(s.warps) {
 		return fmt.Errorf("smx %d: %d warps in issue list, blocks hold %d", s.ID, len(s.warps), liveWarps)
+	}
+	var launchStalled, memStalled int
+	for _, w := range s.warps {
+		if w.launchStalled {
+			launchStalled++
+		}
+		if len(w.pending) > 0 {
+			memStalled++
+		}
+	}
+	if launchStalled != s.launchStalledWarps || memStalled != s.memStalledWarps {
+		return fmt.Errorf("smx %d: stalled-warp counts (launch %d, mem %d) != recomputed (%d, %d)",
+			s.ID, s.launchStalledWarps, s.memStalledWarps, launchStalled, memStalled)
 	}
 	return nil
 }
