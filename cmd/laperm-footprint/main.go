@@ -37,9 +37,9 @@ func main() {
 
 	ws := kernels.All()
 	if *workload != "" {
-		w, ok := kernels.ByName(*workload)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		w, err := kernels.Lookup(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		ws = []kernels.Workload{w}

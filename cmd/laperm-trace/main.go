@@ -11,6 +11,10 @@
 // parent-child / sibling / cross). With -compare the cell is re-run under
 // every scheduler and the per-scheduler parent-child shares are tabulated
 // (-reuse-csv writes the raw breakdown), the repo-native Figure 3 view.
+//
+// The flags assemble a spec.RunSpec — the lapermd service's request type —
+// before anything runs, so the cell is described (and validated) exactly as
+// a service submission would be.
 package main
 
 import (
@@ -21,9 +25,9 @@ import (
 
 	"laperm/internal/exp"
 	"laperm/internal/gpu"
-	"laperm/internal/kernels"
 	"laperm/internal/mem"
 	"laperm/internal/prof"
+	"laperm/internal/spec"
 	"laperm/internal/trace"
 )
 
@@ -42,12 +46,28 @@ func main() {
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 
+	sp := spec.RunSpec{
+		Workload:    *workload,
+		Scale:       *scale,
+		Model:       *model,
+		Scheduler:   *sched,
+		SampleEvery: *sampleEvery,
+		Attribution: true,
+	}
+	if err := sp.Validate(); err != nil {
+		fatal(err)
+	}
+
 	stopProf, err := pf.Start()
 	if err != nil {
 		fatal(err)
 	}
-	if err := run(*workload, *model, *sched, *scale, *sampleEvery,
-		*jsonl, *perfetto, *timelineCSV, *reuseCSV, *compare, *workers); err != nil {
+	if *compare {
+		err = runCompare(sp, *workers, *reuseCSV)
+	} else {
+		err = runCell(sp, *jsonl, *perfetto, *timelineCSV)
+	}
+	if err != nil {
 		stopProf()
 		fatal(err)
 	}
@@ -61,53 +81,21 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(workload, model, sched, scale string, sampleEvery uint64,
-	jsonl, perfetto, timelineCSV, reuseCSV string, compare bool, workers int) error {
-	o := exp.Options{Attribution: true, SampleEvery: sampleEvery, Workers: workers}
-	switch scale {
-	case "tiny":
-		o.Scale = kernels.ScaleTiny
-	case "small":
-		o.Scale = kernels.ScaleSmall
-	case "medium":
-		o.Scale = kernels.ScaleMedium
-	default:
-		return fmt.Errorf("unknown scale %q", scale)
-	}
-	var m gpu.Model
-	switch model {
-	case "cdp":
-		m = gpu.CDP
-	case "dtbl":
-		m = gpu.DTBL
-	default:
-		return fmt.Errorf("unknown model %q (cdp, dtbl)", model)
-	}
-	w, ok := kernels.ByName(workload)
-	if !ok {
-		return fmt.Errorf("unknown workload %q (known: %v)", workload, kernels.Names())
-	}
-
-	if compare {
-		return runCompare(o, w, m, reuseCSV)
-	}
-	return runCell(o, w, m, sched, jsonl, perfetto, timelineCSV)
-}
-
-// runCell runs one cell with a trace recorder attached and emits every
+// runCell runs one spec with a trace recorder attached and emits every
 // requested artifact.
-func runCell(o exp.Options, w kernels.Workload, m gpu.Model, sched,
-	jsonl, perfetto, timelineCSV string) error {
+func runCell(sp spec.RunSpec, jsonl, perfetto, timelineCSV string) error {
 	rec := trace.NewRecorder()
-	res, sim, err := exp.RunCell(w, m, sched, o, func(g *gpu.Options) {
+	sim, _, err := sp.BuildWith(func(g *gpu.Options) {
 		g.TraceDispatch = rec.DispatchHook()
 		g.TraceQueue = rec.QueueHook()
 		g.TraceBlockDone = rec.BlockHook()
 		g.TraceSample = rec.SampleHook()
 	})
-	if sim != nil {
-		rec.FinishRun(sim)
+	if err != nil {
+		return err
 	}
+	res, err := sim.Run()
+	rec.FinishRun(sim)
 	if err != nil {
 		return err
 	}
@@ -137,10 +125,25 @@ func runCell(o exp.Options, w kernels.Workload, m gpu.Model, sched,
 	return nil
 }
 
-// runCompare sweeps the workload under every scheduler and tabulates the
-// reuse breakdowns.
-func runCompare(o exp.Options, w kernels.Workload, m gpu.Model, reuseCSV string) error {
-	o.Workloads = []string{w.Name}
+// runCompare sweeps the spec's workload under every scheduler and tabulates
+// the reuse breakdowns.
+func runCompare(sp spec.RunSpec, workers int, reuseCSV string) error {
+	n := sp.Normalized()
+	sc, err := spec.ParseScale(n.Scale)
+	if err != nil {
+		return err
+	}
+	m, err := spec.ParseModel(n.Model)
+	if err != nil {
+		return err
+	}
+	o := exp.Options{
+		Attribution: true,
+		SampleEvery: n.SampleEvery,
+		Workers:     workers,
+		Scale:       sc,
+		Workloads:   []string{n.Workload},
+	}
 	rm, err := exp.RunReuse(o, m)
 	if err != nil {
 		return err

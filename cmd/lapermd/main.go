@@ -1,0 +1,85 @@
+// Command lapermd serves the simulator as an HTTP/JSON service with a
+// content-addressed result cache.
+//
+// Submit a RunSpec and poll it:
+//
+//	lapermd -addr :8077 -cache-dir /var/cache/lapermd &
+//	curl -s -X POST localhost:8077/v1/runs -d '{"workload":"bfs-citation","scale":"tiny"}'
+//	curl -s localhost:8077/v1/runs/<id>
+//	curl -s localhost:8077/v1/runs/<id>/events        # SSE progress stream
+//	curl -s localhost:8077/v1/artifacts/<id>/trace.perfetto.json
+//	curl -s localhost:8077/metrics
+//
+// The run ID is the SHA-256 of the spec's canonical form: identical
+// submissions coalesce while in flight and are answered from the cache once
+// complete, and the engine's bit-determinism makes cached artifacts
+// byte-identical to a fresh run's. SIGINT/SIGTERM drain gracefully: new runs
+// get 503, queued and running jobs finish (up to -drain-timeout), then the
+// listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"laperm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	cacheDir := flag.String("cache-dir", "lapermd-cache", "content-addressed result cache directory")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cache byte budget, LRU-evicted (0 = unlimited)")
+	workers := flag.Int("workers", 0, "max concurrently executing runs (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 256, "max queued-but-unstarted runs before submissions get 503")
+	jobDeadline := flag.Duration("job-deadline", 0, "per-run wall-clock budget (0 = unlimited)")
+	maxCycles := flag.Uint64("max-cycles", 0, "per-run simulated-cycle cap (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight runs are canceled")
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		JobDeadline:   *jobDeadline,
+		MaxCycles:     *maxCycles,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("lapermd listening on %s (cache %s)", *addr, *cacheDir)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("draining (budget %s)...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v (in-flight runs canceled)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Print("lapermd stopped")
+}

@@ -8,6 +8,11 @@
 //	lapermsim -workload join-gaussian -model cdp -sched rr -scale medium -v
 //	lapermsim -workload all -workers 8            # whole suite, in parallel
 //	lapermsim -workload amr,bht,mst-journal       # a comma-separated subset
+//
+// The flags assemble a spec.RunSpec per workload — the same request type the
+// lapermd service accepts — so a command line and a service submission
+// describe runs identically; -print-spec emits the canonical JSON instead of
+// simulating, ready to POST to /v1/runs.
 package main
 
 import (
@@ -18,23 +23,24 @@ import (
 	"os"
 	"strings"
 
-	"laperm/internal/config"
 	"laperm/internal/exp"
 	"laperm/internal/gpu"
 	"laperm/internal/kernels"
+	"laperm/internal/spec"
 	"laperm/internal/trace"
 )
 
 func main() {
 	workload := flag.String("workload", "bfs-citation", `workload name, comma-separated list, or "all" (`+strings.Join(kernels.Names(), ", ")+")")
 	model := flag.String("model", "dtbl", "dynamic parallelism model (cdp, dtbl)")
-	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(exp.SchedulerNames, ", ")+")")
+	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(spec.SchedulerNames, ", ")+")")
 	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	verbose := flag.Bool("v", false, "print per-SMX statistics")
 	timeline := flag.Uint64("timeline", 0, "sample the run every N cycles and print the timeline (single workload only)")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file (single workload only)")
 	workers := flag.Int("workers", 0, "max workloads simulated concurrently (0 = GOMAXPROCS; output order is fixed)")
 	dense := flag.Bool("dense", false, "step the engine one cycle at a time instead of event-horizon fast-forwarding (slower, identical results)")
+	printSpec := flag.Bool("print-spec", false, "print each run's canonical RunSpec JSON and exit without simulating")
 	flag.Parse()
 
 	names := strings.Split(*workload, ",")
@@ -45,33 +51,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-trace and -timeline require a single -workload")
 		os.Exit(2)
 	}
-	for _, name := range names {
-		if _, ok := kernels.ByName(name); !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+
+	// Flags become RunSpecs up front: every run the command makes is fully
+	// described (and validated) before anything simulates.
+	specs := make([]spec.RunSpec, len(names))
+	for i, name := range names {
+		specs[i] = spec.RunSpec{
+			Workload:    name,
+			Scale:       *scale,
+			Model:       *model,
+			Scheduler:   *sched,
+			SampleEvery: *timeline,
+			DenseClock:  *dense,
+		}
+		if err := specs[i].Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}
-	var m gpu.Model
-	switch *model {
-	case "cdp":
-		m = gpu.CDP
-	case "dtbl":
-		m = gpu.DTBL
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q (cdp, dtbl)\n", *model)
-		os.Exit(2)
-	}
-	var sc kernels.Scale
-	switch *scale {
-	case "tiny":
-		sc = kernels.ScaleTiny
-	case "small":
-		sc = kernels.ScaleSmall
-	case "medium":
-		sc = kernels.ScaleMedium
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+	if *printSpec {
+		for _, sp := range specs {
+			canon, err := sp.Canonical()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Println(string(canon))
+		}
+		return
 	}
 
 	// Fan the workloads over a bounded worker pool. Outputs are buffered per
@@ -83,7 +90,7 @@ func main() {
 		if len(names) > 1 {
 			fmt.Fprintf(&buf, "=== %s ===\n", names[i])
 		}
-		err := runWorkload(&buf, names[i], m, *sched, sc, *verbose, *timeline, *traceOut, *dense)
+		err := runWorkload(&buf, specs[i], *verbose, *traceOut)
 		outs[i] = buf.String()
 		return err
 	})
@@ -96,37 +103,21 @@ func main() {
 	}
 }
 
-// runWorkload simulates one workload and renders its statistics to w. Every
-// call builds a private configuration, scheduler, and simulator, so calls are
-// safe to run concurrently.
-func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels.Scale, verbose bool, timeline uint64, traceOut string, dense bool) error {
-	wk, ok := kernels.ByName(name)
-	if !ok {
-		return fmt.Errorf("unknown workload %q", name)
-	}
-	cfg := config.KeplerK20c()
-	schedImpl, err := exp.NewScheduler(sched, &cfg)
-	if err != nil {
-		return err
-	}
+// runWorkload simulates one spec and renders its statistics to w. Every call
+// builds a private configuration, scheduler, and simulator via the spec, so
+// calls are safe to run concurrently.
+func runWorkload(w io.Writer, sp spec.RunSpec, verbose bool, traceOut string) error {
 	var rec *trace.Recorder
-	opts := gpu.Options{
-		Config:      &cfg,
-		Scheduler:   schedImpl,
-		Model:       m,
-		SampleEvery: timeline,
-		DenseClock:  dense,
-	}
+	var customize func(*gpu.Options)
 	if traceOut != "" {
 		rec = trace.NewRecorder()
-		opts.TraceDispatch = rec.DispatchHook()
-		opts.TraceQueue = rec.QueueHook()
+		customize = func(g *gpu.Options) {
+			g.TraceDispatch = rec.DispatchHook()
+			g.TraceQueue = rec.QueueHook()
+		}
 	}
-	sim, err := gpu.New(opts)
+	sim, _, err := sp.BuildWith(customize)
 	if err != nil {
-		return err
-	}
-	if err := sim.LaunchHost(wk.Build(sc)); err != nil {
 		return err
 	}
 	res, err := sim.Run()
@@ -156,7 +147,7 @@ func runWorkload(w io.Writer, name string, m gpu.Model, sched string, sc kernels
 				i, st.ThreadInsts, st.ResidentCycles, st.IssueCycles, st.BlocksCompleted)
 		}
 	}
-	if timeline > 0 {
+	if sp.SampleEvery > 0 {
 		fmt.Fprintln(w, "  cycle      ipc     l1      l2      resident-TBs  live-kernels")
 		for _, s := range res.Timeline {
 			fmt.Fprintf(w, "  %-10d %-7.1f %5.1f%%  %5.1f%%  %-13d %d\n",

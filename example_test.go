@@ -20,7 +20,11 @@ func Example() {
 		fmt.Println(err)
 		return
 	}
-	w, _ := laperm.WorkloadByName("bfs-citation")
+	w, err := laperm.WorkloadByName("bfs-citation")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 	if err := sim.LaunchHost(w.Build(laperm.ScaleTiny)); err != nil {
 		fmt.Println(err)
 		return

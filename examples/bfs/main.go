@@ -19,9 +19,9 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "input\tmodel\tscheduler\tcycles\tIPC\tL1\tL2\tspeedup vs rr")
 	for _, name := range []string{"bfs-citation", "bfs-graph5", "bfs-cage15"} {
-		w, ok := kernels.ByName(name)
-		if !ok {
-			log.Fatalf("workload %s not registered", name)
+		w, err := kernels.Lookup(name)
+		if err != nil {
+			log.Fatal(err)
 		}
 		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
 			var base float64

@@ -17,9 +17,9 @@ import (
 )
 
 func main() {
-	w, ok := kernels.ByName("bfs-citation")
-	if !ok {
-		log.Fatal("bfs-citation not registered")
+	w, err := kernels.Lookup("bfs-citation")
+	if err != nil {
+		log.Fatal(err)
 	}
 	for _, schedName := range []string{"rr", "adaptive-bind"} {
 		cfg := config.KeplerK20c()

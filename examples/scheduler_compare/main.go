@@ -20,9 +20,9 @@ func main() {
 	workload := flag.String("workload", "join-gaussian", "workload to compare schedulers on")
 	flag.Parse()
 
-	w, ok := kernels.ByName(*workload)
-	if !ok {
-		log.Fatalf("unknown workload %q (known: %v)", *workload, kernels.Names())
+	w, err := kernels.Lookup(*workload)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -77,9 +77,9 @@ func (o Options) workloads() ([]kernels.Workload, error) {
 	}
 	var ws []kernels.Workload
 	for _, name := range o.Workloads {
-		w, ok := kernels.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("exp: unknown workload %q (known: %v)", name, kernels.Names())
+		w, err := kernels.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %w", err)
 		}
 		ws = append(ws, w)
 	}

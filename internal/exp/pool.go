@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -101,6 +102,19 @@ func (p Pool) effectiveWorkers(n int) int {
 // parallel run returns the same error a `for i := 0; i < n; i++` loop would.
 // A cell that panics is recovered and reported as a *PanicError.
 func (p Pool) Run(n int, fn func(i int) error) error {
+	return p.RunContext(context.Background(), n, func(_ context.Context, i int) error {
+		return fn(i)
+	})
+}
+
+// RunContext is Run under a context, for callers whose sweeps must cancel
+// cleanly (server jobs, signal-driven CLIs). Each cell receives the context
+// so it can thread it into Simulator.RunContext. Cancellation stops new
+// cells from being claimed; in-flight cells run to completion (interrupting
+// themselves via the context they were handed). Cell errors keep Run's
+// lowest-index semantics and take precedence; when the run was cut short by
+// cancellation and no cell failed, RunContext returns context.Cause(ctx).
+func (p Pool) RunContext(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -144,10 +158,15 @@ func (p Pool) Run(n int, fn func(i int) error) error {
 
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	var canceled atomic.Bool
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
 				// Claims are strictly index-ordered and a claimed cell
 				// always runs, so when any cell fails, every lower-index
 				// cell has already been claimed and will report its own
@@ -157,16 +176,19 @@ func (p Pool) Run(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				finish(i, runCell(i, fn))
+				finish(i, runCell(ctx, i, fn))
 			}
 		}()
 	}
 	wg.Wait()
+	if firstErr == nil && canceled.Load() {
+		return context.Cause(ctx)
+	}
 	return firstErr
 }
 
 // runCell executes one cell with panic recovery.
-func runCell(i int, fn func(i int) error) (err error) {
+func runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			buf := make([]byte, 64<<10)
@@ -174,7 +196,7 @@ func runCell(i int, fn func(i int) error) (err error) {
 			err = &PanicError{Cell: i, Value: r, Stack: buf}
 		}
 	}()
-	return fn(i)
+	return fn(ctx, i)
 }
 
 // pool returns the Pool configured by these Options.

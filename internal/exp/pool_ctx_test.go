@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunContextCancelStopsNewClaims: once the context is canceled, no new
+// cells start; cells that already ran are counted; the returned error is the
+// cancellation cause.
+func TestRunContextCancelStopsNewClaims(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	err := Pool{Workers: 2}.RunContext(ctx, 100, func(ctx context.Context, i int) error {
+		if n := ran.Add(1); n == 2 {
+			cancel()
+			close(gate)
+		} else {
+			<-gate // hold the first cells until the cancel lands
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Fatalf("all %d cells ran despite cancellation", n)
+	}
+}
+
+// TestRunContextCellErrorWins: a real cell failure takes precedence over the
+// cancellation cause.
+func TestRunContextCellErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := fmt.Errorf("cell exploded")
+	err := Pool{Workers: 1}.RunContext(ctx, 4, func(ctx context.Context, i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell error", err)
+	}
+}
+
+// TestRunContextPropagatesCtxToCells: the context handed to RunContext is the
+// one each cell observes, so cells can thread it into Simulator.RunContext.
+func TestRunContextPropagatesCtxToCells(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "marker")
+	err := Pool{Workers: 3}.RunContext(ctx, 8, func(ctx context.Context, i int) error {
+		if ctx.Value(key{}) != "marker" {
+			return fmt.Errorf("cell %d got a different context", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunContextPreCanceled: an already-canceled context runs nothing and
+// returns its cause.
+func TestRunContextPreCanceled(t *testing.T) {
+	cause := fmt.Errorf("shutdown")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	var ran atomic.Int64
+	err := Pool{Workers: 4}.RunContext(ctx, 16, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want cause %v", err, cause)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d cells ran under a pre-canceled context", ran.Load())
+	}
+}
+
+// TestRunDelegatesToRunContext: Run is RunContext(Background): serial error
+// semantics are unchanged.
+func TestRunDelegatesToRunContext(t *testing.T) {
+	var ran atomic.Int64
+	err := Pool{Workers: 4}.Run(10, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil || ran.Load() != 10 {
+		t.Fatalf("Run: err=%v ran=%d", err, ran.Load())
+	}
+}

@@ -107,6 +107,47 @@ func WriteReuseCSV(m *ReuseMatrix, w io.Writer) error {
 	})
 }
 
+// WriteRunReuseCSV emits one run's reuse breakdown (Result.L1Reuse/L2Reuse)
+// as CSV: one row per cache level with raw class counts and shares — the
+// single-run counterpart of WriteReuseCSV, used by the lapermd artifact
+// endpoint. Zero-valued stats (Attribution off) still produce rows, so the
+// file shape is stable.
+func WriteRunReuseCSV(res *gpu.Result, w io.Writer) error {
+	return writeAtomic(w, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		header := []string{
+			"level", "self", "parent_child", "sibling", "cross", "classified_hits",
+			"self_share", "parent_child_share", "sibling_share", "cross_share",
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+		for _, lvl := range []struct {
+			name string
+			rs   mem.ReuseStats
+		}{{"l1", res.L1Reuse}, {"l2", res.L2Reuse}} {
+			row := []string{
+				lvl.name,
+				strconv.FormatInt(lvl.rs.Self, 10),
+				strconv.FormatInt(lvl.rs.ParentChild, 10),
+				strconv.FormatInt(lvl.rs.Sibling, 10),
+				strconv.FormatInt(lvl.rs.Cross, 10),
+				strconv.FormatInt(lvl.rs.Total(), 10),
+				f(lvl.rs.Share(mem.ReuseSelf)),
+				f(lvl.rs.Share(mem.ReuseParentChild)),
+				f(lvl.rs.Share(mem.ReuseSibling)),
+				f(lvl.rs.Share(mem.ReuseCross)),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+}
+
 // WriteReuseReport prints the parent-child L1 share per workload and
 // scheduler as an aligned terminal table, flagging per row whether every
 // LaPerm scheduler beat the rr baseline.

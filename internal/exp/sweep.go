@@ -4,24 +4,16 @@ import (
 	"fmt"
 
 	"laperm/internal/config"
-	"laperm/internal/core"
 	"laperm/internal/gpu"
 	"laperm/internal/kernels"
+	"laperm/internal/spec"
 )
 
-// NewScheduler builds the named TB scheduler for the given configuration.
+// NewScheduler builds the named TB scheduler for the given configuration. It
+// delegates to spec.NewScheduler, the single scheduler factory the CLIs, the
+// experiment runners, and the lapermd service all share.
 func NewScheduler(name string, cfg *config.GPU) (gpu.TBScheduler, error) {
-	switch name {
-	case "rr":
-		return core.NewRoundRobin(), nil
-	case "tb-pri":
-		return core.NewTBPri(cfg.MaxPriorityLevels), nil
-	case "smx-bind":
-		return core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels), nil
-	case "adaptive-bind":
-		return core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels), nil
-	}
-	return nil, fmt.Errorf("exp: unknown scheduler %q (known: %v)", name, SchedulerNames)
+	return spec.NewScheduler(name, cfg)
 }
 
 // RunOne simulates one workload under one (model, scheduler) pair.

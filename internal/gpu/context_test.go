@@ -1,0 +1,115 @@
+package gpu_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"laperm/internal/core"
+	"laperm/internal/gpu"
+)
+
+// TestRunContextPreCanceled: a context canceled before RunContext starts
+// yields a *CanceledError at cycle 0 without simulating anything.
+func TestRunContextPreCanceled(t *testing.T) {
+	cfg := smallCfg()
+	sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: core.NewRoundRobin()})
+	mustLaunch(t, sim, simpleKernel("k", 4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sim.RunContext(ctx)
+	if res != nil {
+		t.Fatalf("canceled run returned a Result")
+	}
+	var ce *gpu.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *CanceledError", err, err)
+	}
+	if ce.Cycle != 0 {
+		t.Errorf("CanceledError.Cycle = %d, want 0", ce.Cycle)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false; cause not unwrapped")
+	}
+}
+
+// TestRunContextCancelMidRun cancels from inside a dispatch trace hook — a
+// point deterministically mid-run — and expects the engine to stop with a
+// *CanceledError instead of completing. Dense clocking guarantees the engine
+// loop iterates at least once per cycle, so the throttled context poll fires
+// soon after the hook runs.
+func TestRunContextCancelMidRun(t *testing.T) {
+	cfg := smallCfg()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dispatches := 0
+	sim := gpu.MustNew(gpu.Options{
+		Config:     cfg,
+		Scheduler:  core.NewRoundRobin(),
+		DenseClock: true,
+		TraceDispatch: func(ki *gpu.KernelInstance, tbIndex, smxID int, cycle uint64) {
+			if dispatches++; dispatches == 2 {
+				cancel()
+			}
+		},
+	})
+	// Enough thread blocks that thousands of cycles remain after the
+	// second dispatch, guaranteeing the throttled context poll fires
+	// before the run can complete.
+	mustLaunch(t, sim, simpleKernel("k", 4096))
+	res, err := sim.RunContext(ctx)
+	if res != nil {
+		t.Fatalf("canceled run returned a Result")
+	}
+	var ce *gpu.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *CanceledError", err, err)
+	}
+	if ce.Live == 0 {
+		t.Errorf("CanceledError.Live = 0, want live kernels at cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause not unwrapped to context.Canceled: %v", err)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: RunContext(Background) is Run — same
+// Result for the same workload.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	mk := func() *gpu.Simulator {
+		cfg := smallCfg()
+		sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: core.NewRoundRobin()})
+		mustLaunch(t, sim, simpleKernel("k", 8))
+		return sim
+	}
+	r1, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := mk().RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.ThreadInsts != r2.ThreadInsts {
+		t.Fatalf("Run vs RunContext diverged: %d/%d cycles, %d/%d insts",
+			r1.Cycles, r2.Cycles, r1.ThreadInsts, r2.ThreadInsts)
+	}
+}
+
+// TestRunContextDeadline: an already-expired deadline surfaces as a
+// *CanceledError whose cause is context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	cfg := smallCfg()
+	sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: core.NewRoundRobin()})
+	mustLaunch(t, sim, simpleKernel("k", 4))
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, err := sim.RunContext(ctx)
+	var ce *gpu.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *CanceledError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cause not unwrapped to DeadlineExceeded: %v", err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 //     or a scheduler contract violation.
 //   - *CycleLimitError  — the run exceeded MaxCycles without deadlocking
 //     (a runaway workload or an undersized limit).
+//   - *CanceledError    — RunContext's context was canceled or timed out
+//     before the run completed.
 //   - a plain error     — usage errors (Run called twice, nothing to run).
 
 // StuckKernel describes one incomplete kernel instance inside a
@@ -108,3 +110,23 @@ func (e *CycleLimitError) Error() string {
 	return fmt.Sprintf("gpu: simulation exceeded %d cycles (%d kernels live, %d arrivals, %d at KMU)",
 		e.MaxCycles, e.Live, e.PendingArrivals, e.KMUQueued)
 }
+
+// CanceledError reports that RunContext's context was canceled (or its
+// deadline expired) before the simulation completed. It wraps the context's
+// cancellation cause, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) both see through it.
+type CanceledError struct {
+	// Cycle is the simulated cycle at which the cancellation was observed.
+	Cycle uint64
+	// Live counts the kernel instances still incomplete at cancellation.
+	Live int
+	// Cause is context.Cause(ctx) at the time of the observation.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("gpu: run canceled at cycle %d (%d kernels live): %v", e.Cycle, e.Live, e.Cause)
+}
+
+// Unwrap exposes the cancellation cause to errors.Is / errors.As.
+func (e *CanceledError) Unwrap() error { return e.Cause }

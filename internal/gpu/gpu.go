@@ -20,6 +20,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -723,6 +724,22 @@ func (s *Simulator) done() bool {
 // one cycle at a time. Both clockings process the same cycles with the same
 // state, so every observable is byte-identical.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// ctxCheckMask throttles RunContext's cancellation polls: the context is
+// consulted once every ctxCheckMask+1 engine-loop iterations, so a canceled
+// run stops within a few thousand processed cycles while an uncanceled run
+// pays nothing measurable.
+const ctxCheckMask = 1<<13 - 1
+
+// RunContext is Run under a context: cancellation (or a deadline) observed
+// mid-run stops the simulation and returns a *CanceledError wrapping
+// context.Cause(ctx), alongside the error taxonomy Run documents. The engine
+// polls the context every few thousand loop iterations, so cancellation
+// latency is milliseconds, not cycles. A Result is never returned for a
+// canceled run; build a fresh Simulator to retry.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	if s.ran {
 		return nil, fmt.Errorf("gpu: Run called twice")
 	}
@@ -740,9 +757,18 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, fmt.Errorf("gpu: nothing to run; call LaunchHost first")
 	}
 	s.lastProgress = s.progress()
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Cycle: s.now, Live: s.live, Cause: context.Cause(ctx)}
+	}
 
 	phases := s.phases()
+	var iter uint64
 	for s.now < s.maxCycles {
+		if iter++; iter&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, &CanceledError{Cycle: s.now, Live: s.live, Cause: context.Cause(ctx)}
+			}
+		}
 		for _, ph := range phases {
 			if err := ph.Tick(s.now); err != nil {
 				return nil, err

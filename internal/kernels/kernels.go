@@ -15,6 +15,7 @@ package kernels
 
 import (
 	"fmt"
+	"strings"
 
 	"laperm/internal/isa"
 )
@@ -123,6 +124,30 @@ func ByName(name string) (Workload, bool) {
 		}
 	}
 	return Workload{}, false
+}
+
+// UnknownWorkloadError reports a workload lookup by a name not in Table II,
+// carrying the valid names so callers (CLI usage errors, the simulation
+// service's 400 responses) can list them without re-deriving the set.
+type UnknownWorkloadError struct {
+	// Name is the unknown name that was requested.
+	Name string
+	// Known lists every valid workload name in evaluation order.
+	Known []string
+}
+
+func (e *UnknownWorkloadError) Error() string {
+	return fmt.Sprintf("kernels: unknown workload %q (valid: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// Lookup returns the named workload, or a structured
+// *UnknownWorkloadError listing the valid names.
+func Lookup(name string) (Workload, error) {
+	w, ok := ByName(name)
+	if !ok {
+		return Workload{}, &UnknownWorkloadError{Name: name, Known: Names()}
+	}
+	return w, nil
 }
 
 // Names returns all workload names in evaluation order.

@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"laperm/internal/isa"
@@ -233,6 +235,28 @@ func TestLaunchesComeFromOwningThreadWarp(t *testing.T) {
 					t.Fatalf("launch with %d active lanes", in.ActiveLanes)
 				}
 			}
+		}
+	}
+}
+
+func TestLookupUnknownWorkload(t *testing.T) {
+	if _, err := Lookup("bfs-citation"); err != nil {
+		t.Fatalf("Lookup(bfs-citation) = %v, want nil", err)
+	}
+	_, err := Lookup("no-such-workload")
+	var ue *UnknownWorkloadError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Lookup error = %T %v, want *UnknownWorkloadError", err, err)
+	}
+	if ue.Name != "no-such-workload" {
+		t.Errorf("UnknownWorkloadError.Name = %q", ue.Name)
+	}
+	if len(ue.Known) != len(All()) {
+		t.Errorf("UnknownWorkloadError.Known has %d names, want %d", len(ue.Known), len(All()))
+	}
+	for _, name := range ue.Known {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error message missing valid name %q: %s", name, err)
 		}
 	}
 }

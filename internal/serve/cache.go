@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"laperm/internal/exp"
+)
+
+// ResultArtifact is the artifact name that doubles as the cache entry's
+// completion marker: it is always written last, so a directory holding one
+// is a complete entry and a directory without one is debris from a crashed
+// write and is discarded on open.
+const ResultArtifact = "result.json"
+
+// Artifact is one named file of a cache entry.
+type Artifact struct {
+	// Name is the file name inside the entry directory (no separators).
+	Name string
+	// Write emits the artifact body.
+	Write func(io.Writer) error
+}
+
+// CacheStats is a point-in-time snapshot of the cache's occupancy.
+type CacheStats struct {
+	// Entries and Bytes are the current entry count and their total size.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the configured budget (0 = unlimited).
+	MaxBytes int64 `json:"max_bytes"`
+	// Evictions counts entries removed to stay under the budget.
+	Evictions int64 `json:"evictions"`
+}
+
+// Cache is the content-addressed on-disk result store: one directory per
+// RunSpec hash holding the run's artifacts, bounded by an LRU byte budget.
+// Writes are atomic (temp file + rename via exp.WriteFileAtomic) and ordered
+// so ResultArtifact lands last; readers therefore never observe a partial
+// entry, even across a crash.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	mu        sync.Mutex
+	entries   map[string]*cacheEntry
+	clock     uint64 // LRU clock: bumped on every touch
+	total     int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	bytes    int64
+	lastUsed uint64
+}
+
+// OpenCache opens (creating if needed) the cache rooted at dir with the
+// given byte budget (maxBytes <= 0 means unlimited). Existing complete
+// entries are indexed — ordered for LRU by their result file's mtime — and
+// incomplete ones (no ResultArtifact) are removed.
+func OpenCache(dir string, maxBytes int64) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: cache directory is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: create cache dir: %w", err)
+	}
+	c := &Cache{dir: dir, maxBytes: maxBytes, entries: make(map[string]*cacheEntry)}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan cache dir: %w", err)
+	}
+	type found struct {
+		id    string
+		bytes int64
+		mtime int64
+	}
+	var scanned []found
+	for _, de := range names {
+		if !de.IsDir() {
+			continue
+		}
+		id := de.Name()
+		entryDir := filepath.Join(dir, id)
+		st, err := os.Stat(filepath.Join(entryDir, ResultArtifact))
+		if err != nil {
+			// No completion marker: a crashed or in-progress write from a
+			// previous process. Remove it; the run will recompute.
+			os.RemoveAll(entryDir)
+			continue
+		}
+		var bytes int64
+		files, err := os.ReadDir(entryDir)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if info, err := f.Info(); err == nil {
+				bytes += info.Size()
+			}
+		}
+		scanned = append(scanned, found{id: id, bytes: bytes, mtime: st.ModTime().UnixNano()})
+	}
+	sort.Slice(scanned, func(i, j int) bool { return scanned[i].mtime < scanned[j].mtime })
+	for _, f := range scanned {
+		c.clock++
+		c.entries[f.id] = &cacheEntry{bytes: f.bytes, lastUsed: c.clock}
+		c.total += f.bytes
+	}
+	c.mu.Lock()
+	c.evictFor("")
+	c.mu.Unlock()
+	return c, nil
+}
+
+// validID guards the filesystem: cache IDs are lowercase-hex content hashes,
+// never path fragments.
+func validID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for _, r := range id {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup reports whether a complete entry for id exists, returning its
+// directory and marking it most-recently-used.
+func (c *Cache) Lookup(id string) (string, bool) {
+	if !validID(id) {
+		return "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		return "", false
+	}
+	c.clock++
+	e.lastUsed = c.clock
+	return filepath.Join(c.dir, id), true
+}
+
+// ReadArtifact returns one artifact's bytes from a complete entry.
+func (c *Cache) ReadArtifact(id, name string) ([]byte, error) {
+	dir, ok := c.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("serve: no cache entry %q", id)
+	}
+	if strings.ContainsAny(name, `/\`) {
+		return nil, fmt.Errorf("serve: invalid artifact name %q", name)
+	}
+	return os.ReadFile(filepath.Join(dir, name))
+}
+
+// Put writes a new entry: every artifact atomically, ResultArtifact last as
+// the completion marker, then indexes the entry and evicts least-recently-
+// used entries until the byte budget holds again. Writing an id that already
+// exists is a no-op (the content address guarantees identical bytes).
+func (c *Cache) Put(id string, artifacts []Artifact) error {
+	if !validID(id) {
+		return fmt.Errorf("serve: invalid cache id %q", id)
+	}
+	c.mu.Lock()
+	_, exists := c.entries[id]
+	c.mu.Unlock()
+	if exists {
+		return nil
+	}
+	entryDir := filepath.Join(c.dir, id)
+	if err := os.MkdirAll(entryDir, 0o755); err != nil {
+		return fmt.Errorf("serve: create cache entry: %w", err)
+	}
+	var result *Artifact
+	for i := range artifacts {
+		a := artifacts[i]
+		if strings.ContainsAny(a.Name, `/\`) || a.Name == "" {
+			return fmt.Errorf("serve: invalid artifact name %q", a.Name)
+		}
+		if a.Name == ResultArtifact {
+			result = &artifacts[i]
+			continue
+		}
+		if err := exp.WriteFileAtomic(filepath.Join(entryDir, a.Name), a.Write); err != nil {
+			return fmt.Errorf("serve: write artifact %s: %w", a.Name, err)
+		}
+	}
+	if result == nil {
+		return fmt.Errorf("serve: entry %q has no %s artifact", id, ResultArtifact)
+	}
+	if err := exp.WriteFileAtomic(filepath.Join(entryDir, ResultArtifact), result.Write); err != nil {
+		return fmt.Errorf("serve: write artifact %s: %w", ResultArtifact, err)
+	}
+	var bytes int64
+	files, err := os.ReadDir(entryDir)
+	if err != nil {
+		return fmt.Errorf("serve: size cache entry: %w", err)
+	}
+	for _, f := range files {
+		if info, err := f.Info(); err == nil {
+			bytes += info.Size()
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock++
+	c.entries[id] = &cacheEntry{bytes: bytes, lastUsed: c.clock}
+	c.total += bytes
+	c.evictFor(id)
+	return nil
+}
+
+// evictFor removes least-recently-used entries until the budget holds,
+// sparing the entry named keep (the one just written — callers are about to
+// read it). Called with c.mu held.
+func (c *Cache) evictFor(keep string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.total > c.maxBytes {
+		victim := ""
+		var oldest uint64
+		for id, e := range c.entries {
+			if id == keep {
+				continue
+			}
+			if victim == "" || e.lastUsed < oldest {
+				victim, oldest = id, e.lastUsed
+			}
+		}
+		if victim == "" {
+			return // only the spared entry remains; it may exceed the budget
+		}
+		c.total -= c.entries[victim].bytes
+		delete(c.entries, victim)
+		c.evictions++
+		os.RemoveAll(filepath.Join(c.dir, victim))
+	}
+}
+
+// Stats returns an occupancy snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.total,
+		MaxBytes:  c.maxBytes,
+		Evictions: c.evictions,
+	}
+}

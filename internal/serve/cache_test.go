@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func hexID(digit byte, n int) string { return strings.Repeat(string(digit), n) }
+
+func bytesArtifact(name string, body []byte) Artifact {
+	return Artifact{Name: name, Write: func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	}}
+}
+
+func putEntry(t *testing.T, c *Cache, id string, size int) {
+	t.Helper()
+	err := c.Put(id, []Artifact{
+		bytesArtifact("data.bin", make([]byte, size)),
+		bytesArtifact(ResultArtifact, []byte(`{}`)),
+	})
+	if err != nil {
+		t.Fatalf("Put(%s): %v", id[:8], err)
+	}
+}
+
+func TestCachePutLookupReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := hexID('1', 64)
+	putEntry(t, c, id, 100)
+	if _, ok := c.Lookup(id); !ok {
+		t.Fatal("entry missing right after Put")
+	}
+	if got, err := c.ReadArtifact(id, ResultArtifact); err != nil || string(got) != `{}` {
+		t.Fatalf("ReadArtifact = %q, %v", got, err)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 102 {
+		t.Fatalf("stats = %+v, want 1 entry of 102 bytes", st)
+	}
+
+	// A fresh Cache over the same directory must index the entry: the
+	// cache survives process restarts.
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Lookup(id); !ok {
+		t.Fatal("entry lost across reopen")
+	}
+	if st := c2.Stats(); st.Entries != 1 || st.Bytes != 102 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+}
+
+// TestCacheIncompleteEntryDiscarded: a directory without the ResultArtifact
+// completion marker is debris from a crashed write and must be removed, not
+// served.
+func TestCacheIncompleteEntryDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	id := hexID('2', 64)
+	entry := filepath.Join(dir, id)
+	if err := os.MkdirAll(entry, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(entry, "events.jsonl"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup(id); ok {
+		t.Fatal("incomplete entry served")
+	}
+	if _, err := os.Stat(entry); !os.IsNotExist(err) {
+		t.Fatalf("incomplete entry not removed: %v", err)
+	}
+}
+
+// TestCacheLRUEviction: over-budget Puts evict the least-recently-used
+// entry; a Lookup refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, id2, id3 := hexID('a', 64), hexID('b', 64), hexID('c', 64)
+	putEntry(t, c, id1, 100) // 102 bytes each
+	putEntry(t, c, id2, 100)
+	if _, ok := c.Lookup(id1); !ok { // refresh id1: id2 becomes LRU
+		t.Fatal("id1 missing")
+	}
+	putEntry(t, c, id3, 100) // 306 > 250: evict exactly one, the LRU (id2)
+	if _, ok := c.Lookup(id2); ok {
+		t.Fatal("LRU entry id2 survived eviction")
+	}
+	for _, id := range []string{id1, id3} {
+		if _, ok := c.Lookup(id); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", id[:8])
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 entries after 1 eviction", st)
+	}
+	if _, err := os.Stat(filepath.Join(c.dir, id2)); !os.IsNotExist(err) {
+		t.Fatal("evicted entry still on disk")
+	}
+}
+
+func TestCacheRejectsBadIDsAndNames(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "ABC", "../etc", hexID('1', 200)} {
+		if err := c.Put(id, []Artifact{bytesArtifact(ResultArtifact, nil)}); err == nil {
+			t.Errorf("Put accepted id %q", id)
+		}
+		if _, ok := c.Lookup(id); ok {
+			t.Errorf("Lookup accepted id %q", id)
+		}
+	}
+	id := hexID('3', 64)
+	if err := c.Put(id, []Artifact{bytesArtifact("../escape", nil), bytesArtifact(ResultArtifact, nil)}); err == nil {
+		t.Error("Put accepted a path-traversal artifact name")
+	}
+	if err := c.Put(id, []Artifact{bytesArtifact("data.bin", nil)}); err == nil {
+		t.Errorf("Put accepted an entry without %s", ResultArtifact)
+	}
+}
+
+// TestCachePutExistingIsNoop: content addressing makes re-writing an id
+// redundant by construction.
+func TestCachePutExistingIsNoop(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := hexID('4', 64)
+	putEntry(t, c, id, 10)
+	before := c.Stats()
+	err = c.Put(id, []Artifact{bytesArtifact(ResultArtifact, []byte("different"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.ReadArtifact(id, ResultArtifact); string(got) != `{}` {
+		t.Fatalf("second Put overwrote the entry: %q", got)
+	}
+	if after := c.Stats(); after != before {
+		t.Fatalf("second Put changed stats: %+v -> %+v", before, after)
+	}
+}

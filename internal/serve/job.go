@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/spec"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// Job states, in lifecycle order. A job is terminal in StateDone or
+// StateFailed; failed runs are never cached, so resubmitting the same spec
+// retries them.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Error kinds, mapping the engine's structured error taxonomy onto stable
+// wire strings.
+const (
+	KindDeadlock   = "deadlock"
+	KindInvariant  = "invariant"
+	KindCycleLimit = "cycle-limit"
+	KindDeadline   = "deadline"
+	KindCanceled   = "canceled"
+	KindPanic      = "panic"
+	KindError      = "error"
+)
+
+// classifyErr maps a run error onto its wire kind.
+func classifyErr(err error) string {
+	var (
+		de  *gpu.DeadlockError
+		ie  *gpu.InvariantError
+		cle *gpu.CycleLimitError
+		ce  *gpu.CanceledError
+		pe  *exp.PanicError
+	)
+	switch {
+	case errors.As(err, &de):
+		return KindDeadlock
+	case errors.As(err, &ie):
+		return KindInvariant
+	case errors.As(err, &cle):
+		return KindCycleLimit
+	case errors.As(err, &ce):
+		if errors.Is(err, context.DeadlineExceeded) {
+			return KindDeadline
+		}
+		return KindCanceled
+	case errors.As(err, &pe):
+		return KindPanic
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindDeadline
+	case errors.Is(err, context.Canceled):
+		return KindCanceled
+	}
+	return KindError
+}
+
+// Event is one SSE payload: a state transition, a batch progress tick, or a
+// timeline sample from the running simulation.
+type Event struct {
+	Type string // "state", "progress", "sample"
+	Data any
+}
+
+// Job is one submitted run, keyed by its spec hash. All mutable fields are
+// guarded by mu; subscribers receive Events until the job reaches a terminal
+// state, at which point their channels are closed.
+type Job struct {
+	// ID is the RunSpec content hash — run ID, coalescing key, and cache
+	// key are all the same string.
+	ID string
+	// Spec is the normalized submitted spec.
+	Spec spec.RunSpec
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	errKind   string
+	cached    bool // result served from the cache without executing
+	coalesced int64
+	subs      map[chan Event]struct{}
+}
+
+func newJob(id string, sp spec.RunSpec) *Job {
+	return &Job{ID: id, Spec: sp, state: StateQueued, subs: make(map[chan Event]struct{})}
+}
+
+// newCachedJob materializes a job for a disk-cache hit: born terminal.
+func newCachedJob(id string, sp spec.RunSpec) *Job {
+	return &Job{ID: id, Spec: sp, state: StateDone, cached: true, subs: make(map[chan Event]struct{})}
+}
+
+// snapshot returns the job's current externally visible state.
+func (j *Job) snapshot() (State, string, string, bool, int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.errMsg, j.errKind, j.cached, j.coalesced
+}
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) terminalLocked() bool { return j.state == StateDone || j.state == StateFailed }
+
+// noteCoalesced counts a submission that attached to this in-flight job.
+func (j *Job) noteCoalesced() {
+	j.mu.Lock()
+	j.coalesced++
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued -> running and notifies subscribers.
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	view := j.viewLocked(nil)
+	j.publishLocked(Event{Type: "state", Data: view})
+	j.mu.Unlock()
+}
+
+// finish transitions to done, notifies subscribers, and closes their
+// channels.
+func (j *Job) finish() {
+	j.mu.Lock()
+	j.state = StateDone
+	view := j.viewLocked(nil)
+	j.publishLocked(Event{Type: "state", Data: view})
+	j.closeSubsLocked()
+	j.mu.Unlock()
+}
+
+// fail transitions to failed with a classified error, notifies subscribers,
+// and closes their channels.
+func (j *Job) fail(kind string, err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errKind = kind
+	j.errMsg = err.Error()
+	view := j.viewLocked(nil)
+	j.publishLocked(Event{Type: "state", Data: view})
+	j.closeSubsLocked()
+	j.mu.Unlock()
+}
+
+// subscribe registers an event channel and returns it with the job's
+// current view (so the caller can emit a snapshot first without racing a
+// transition) and an unsubscribe func. If the job is already terminal the
+// returned channel is closed immediately: the snapshot is all there is.
+func (j *Job) subscribe() (ch chan Event, snap jobView, cancel func()) {
+	ch = make(chan Event, 64)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap = j.viewLocked(nil)
+	if j.terminalLocked() {
+		close(ch)
+		return ch, snap, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	return ch, snap, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// publish delivers an event to all subscribers, dropping it for any whose
+// buffer is full — a slow SSE consumer must not stall the simulation.
+func (j *Job) publish(ev Event) {
+	j.mu.Lock()
+	j.publishLocked(ev)
+	j.mu.Unlock()
+}
+
+func (j *Job) publishLocked(ev Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func (j *Job) closeSubsLocked() {
+	for ch := range j.subs {
+		delete(j.subs, ch)
+		close(ch)
+	}
+}
+
+// jobView is the wire representation of a job returned by the submit and
+// status endpoints and carried in "state" SSE events.
+type jobView struct {
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Cached    bool            `json:"cached"`
+	Coalesced int64           `json:"coalesced,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ErrorKind string          `json:"error_kind,omitempty"`
+	Spec      spec.RunSpec    `json:"spec"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Artifacts []string        `json:"artifacts,omitempty"`
+}
+
+// viewLocked builds the wire view. result, when non-nil, is the cached
+// result.json body to embed; callers outside job.go attach it for terminal
+// done jobs.
+func (j *Job) viewLocked(result json.RawMessage) jobView {
+	return jobView{
+		ID:        j.ID,
+		State:     j.state,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Error:     j.errMsg,
+		ErrorKind: j.errKind,
+		Spec:      j.Spec,
+		Result:    result,
+	}
+}
+
+// view is viewLocked under the lock.
+func (j *Job) view(result json.RawMessage) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.viewLocked(result)
+}

@@ -1,0 +1,659 @@
+// Package serve implements lapermd: an HTTP/JSON simulation service over the
+// RunSpec API with a content-addressed result cache.
+//
+// A submission is a RunSpec; its SHA-256 content hash (spec.RunSpec.Hash) is
+// simultaneously the run ID, the in-flight coalescing key, and the on-disk
+// cache key. Two identical submissions therefore execute the simulation once:
+// the second either attaches to the in-flight job (coalesced) or is answered
+// from the cache (hit), and the engine's bit-determinism guarantees the
+// cached artifacts are byte-identical to what a fresh run would produce.
+//
+// Execution fans into the experiment harness's bounded worker pool
+// (exp.Pool.RunContext): a dispatcher goroutine batches queued jobs up to the
+// worker count, runs each batch under the server's base context, and maps
+// run failures onto the engine's structured error taxonomy (deadlock,
+// invariant, cycle-limit, deadline, canceled, panic). Progress and timeline
+// samples stream to clients over Server-Sent Events.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"laperm/internal/exp"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/spec"
+	"laperm/internal/trace"
+)
+
+// Artifact names of one completed run, served under /v1/artifacts/{id}/.
+// ResultArtifact (result.json) is declared in cache.go.
+const (
+	SpecArtifact     = "spec.json"
+	EventsArtifact   = "events.jsonl"
+	PerfettoArtifact = "trace.perfetto.json"
+	TimelineArtifact = "timeline.csv"
+	ReuseArtifact    = "reuse.csv"
+)
+
+// ArtifactNames lists every artifact a completed run exposes.
+var ArtifactNames = []string{
+	SpecArtifact, ResultArtifact, EventsArtifact,
+	PerfettoArtifact, TimelineArtifact, ReuseArtifact,
+}
+
+// artifactContentType maps artifact names onto media types.
+func artifactContentType(name string) string {
+	switch filepath.Ext(name) {
+	case ".json":
+		return "application/json"
+	case ".jsonl":
+		return "application/jsonl"
+	case ".csv":
+		return "text/csv"
+	}
+	return "application/octet-stream"
+}
+
+// Config configures a Server.
+type Config struct {
+	// CacheDir roots the content-addressed result cache. Required.
+	CacheDir string
+	// CacheMaxBytes bounds the cache (LRU eviction); <= 0 means unlimited.
+	CacheMaxBytes int64
+	// Workers bounds concurrently executing jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs; <= 0 means 256.
+	// Submissions beyond it are rejected with 503.
+	QueueDepth int
+	// JobDeadline is the per-job wall-clock budget; a run that exceeds it
+	// is canceled and fails with kind "deadline". <= 0 means unlimited.
+	JobDeadline time.Duration
+	// MaxCycles caps every job's simulated-cycle budget. A spec asking
+	// for more (or for the engine default) runs under this cap instead; a
+	// run that would exceed it fails with a *gpu.CycleLimitError (kind
+	// "cycle-limit") and is not cached. Completing runs are unaffected —
+	// MaxCycles only bounds, it never alters behaviour — so the cap
+	// cannot poison the content-addressed cache. <= 0 means no cap.
+	MaxCycles uint64
+}
+
+// Server is the lapermd service: handlers, job registry, dispatcher, and
+// cache. Create with New, start the dispatcher with Start, mount Handler,
+// and stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	workers int
+	cache   *Cache
+	meter   *exp.Meter
+	started time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	draining bool
+
+	batchMu sync.Mutex
+	batch   []*Job
+
+	baseCtx        context.Context
+	cancelBase     context.CancelCauseFunc
+	dispatcherDone chan struct{}
+
+	queued  atomic.Int64
+	running atomic.Int64
+
+	submissions atomic.Int64
+	coalesced   atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	jobsDone    atomic.Int64
+	jobsFailed  atomic.Int64
+
+	// testBeforeRun, when non-nil, runs after a job transitions to
+	// running and before the simulator starts — a test gate for
+	// deterministic coalescing and cancellation scenarios.
+	testBeforeRun func(*Job)
+}
+
+// New builds a Server (opening or creating its cache) without starting the
+// dispatcher; call Start before serving.
+func New(cfg Config) (*Server, error) {
+	cache, err := OpenCache(cfg.CacheDir, cfg.CacheMaxBytes)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	return &Server{
+		cfg:            cfg,
+		workers:        workers,
+		cache:          cache,
+		meter:          exp.NewMeter(),
+		started:        time.Now(),
+		jobs:           make(map[string]*Job),
+		queue:          make(chan *Job, depth),
+		baseCtx:        ctx,
+		cancelBase:     cancel,
+		dispatcherDone: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the dispatcher goroutine.
+func (s *Server) Start() { go s.dispatch() }
+
+// Drain stops accepting new work (submissions get 503), lets queued and
+// running jobs finish, and returns when the dispatcher exits. If ctx expires
+// first, in-flight simulations are canceled (they fail with kind "canceled")
+// and Drain waits for the dispatcher before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.closeQueue()
+	select {
+	case <-s.dispatcherDone:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase(fmt.Errorf("serve: drain deadline exceeded: %w", context.Cause(ctx)))
+		<-s.dispatcherDone
+		return ctx.Err()
+	}
+}
+
+// Close cancels all in-flight work and waits for the dispatcher to exit.
+func (s *Server) Close() {
+	s.closeQueue()
+	s.cancelBase(errors.New("serve: server closed"))
+	<-s.dispatcherDone
+}
+
+func (s *Server) closeQueue() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+}
+
+// Cache exposes the server's result cache (tests and metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the service's routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/artifacts/{id}/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// ValidWorkloads is attached when the error was an unknown workload.
+	ValidWorkloads []string `json:"valid_workloads,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := errorBody{Error: err.Error()}
+	var ue *kernels.UnknownWorkloadError
+	if errors.As(err, &ue) {
+		body.ValidWorkloads = ue.Known
+	}
+	writeJSON(w, status, body)
+}
+
+// handleSubmit accepts a RunSpec, resolves it to a job by content hash —
+// attaching to an in-flight job, answering from the cache, or enqueueing a
+// fresh execution — and returns the job view (202 for newly queued work,
+// 200 otherwise).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: read request: %w", err))
+		return
+	}
+	sp, err := spec.Parse(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sp = sp.Normalized()
+	if err := sp.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := sp.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submissions.Add(1)
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok && j.State() != StateFailed {
+		// In-flight or finished in this process. Attaching to a live job
+		// is a coalesce; matching a done job is a cache hit.
+		if j.State() == StateDone {
+			s.cacheHits.Add(1)
+		} else {
+			s.coalesced.Add(1)
+			j.noteCoalesced()
+		}
+		s.mu.Unlock()
+		s.respondJob(w, http.StatusOK, j)
+		return
+	}
+	if _, ok := s.cache.Lookup(id); ok {
+		// Complete entry from a previous process (or an evicted job
+		// record): serve it without executing.
+		s.cacheHits.Add(1)
+		j := newCachedJob(id, sp)
+		s.jobs[id] = j
+		s.mu.Unlock()
+		s.respondJob(w, http.StatusOK, j)
+		return
+	}
+	s.cacheMisses.Add(1)
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not accepting new runs"))
+		return
+	}
+	j := newJob(id, sp)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: launch queue full (%d queued)", s.queued.Load()))
+		return
+	}
+	s.jobs[id] = j
+	s.queued.Add(1)
+	s.mu.Unlock()
+	s.respondJob(w, http.StatusAccepted, j)
+}
+
+// lookupJob resolves id to a job, materializing one for disk-only cache
+// entries left by a previous process.
+func (s *Server) lookupJob(id string) *Job {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j != nil {
+		return j
+	}
+	if _, ok := s.cache.Lookup(id); !ok {
+		return nil
+	}
+	sp := spec.RunSpec{}
+	if raw, err := s.cache.ReadArtifact(id, SpecArtifact); err == nil {
+		if parsed, err := spec.Parse(raw); err == nil {
+			sp = parsed.Normalized()
+		}
+	}
+	j = newCachedJob(id, sp)
+	s.mu.Lock()
+	if existing := s.jobs[id]; existing != nil {
+		j = existing
+	} else {
+		s.jobs[id] = j
+	}
+	s.mu.Unlock()
+	return j
+}
+
+// respondJob writes a job view, embedding the cached result and artifact
+// list for completed jobs.
+func (s *Server) respondJob(w http.ResponseWriter, status int, j *Job) {
+	view := j.view(nil)
+	if view.State == StateDone {
+		if raw, err := s.cache.ReadArtifact(j.ID, ResultArtifact); err == nil {
+			view.Result = raw
+		}
+		view.Artifacts = ArtifactNames
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookupJob(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no run %q", id))
+		return
+	}
+	s.respondJob(w, http.StatusOK, j)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	known := false
+	for _, n := range ArtifactNames {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("serve: unknown artifact %q (valid: %v)", name, ArtifactNames))
+		return
+	}
+	data, err := s.cache.ReadArtifact(id, name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no artifact %s for run %q", name, id))
+		return
+	}
+	w.Header().Set("Content-Type", artifactContentType(name))
+	w.Write(data)
+}
+
+// handleEvents streams a job's lifecycle over Server-Sent Events: a "state"
+// snapshot immediately, then state transitions, batch "progress" ticks, and
+// timeline "sample" events until the job reaches a terminal state.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.lookupJob(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no run %q", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		return
+	}
+	ch, snap, cancel := j.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "state", snap)
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // terminal state delivered; stream complete
+			}
+			writeSSE(w, ev.Type, ev.Data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w io.Writer, event string, data any) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		payload = []byte(`{"error":"marshal failed"}`)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload)
+}
+
+// metricsView is the /metrics payload.
+type metricsView struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+	Workers   int     `json:"workers"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	JobsDone   int64 `json:"jobs_done"`
+	JobsFailed int64 `json:"jobs_failed"`
+
+	Submissions   int64   `json:"submissions"`
+	Coalesced     int64   `json:"coalesced"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	Cache CacheStats `json:"cache"`
+
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	m := metricsView{
+		UptimeSec:   time.Since(s.started).Seconds(),
+		Draining:    draining,
+		Workers:     s.workers,
+		QueueDepth:  s.queued.Load(),
+		Running:     s.running.Load(),
+		JobsDone:    s.jobsDone.Load(),
+		JobsFailed:  s.jobsFailed.Load(),
+		Submissions: s.submissions.Load(),
+		Coalesced:   s.coalesced.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
+		Cache:       s.cache.Stats(),
+		SimCycles:   s.meter.Cycles(),
+	}
+	if looked := m.CacheHits + m.CacheMisses; looked > 0 {
+		m.CacheHitRatio = float64(m.CacheHits) / float64(looked)
+	}
+	if up := m.UptimeSec; up > 0 {
+		m.SimCyclesPerSec = float64(m.SimCycles) / up
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// dispatch is the dispatcher goroutine: it batches queued jobs up to the
+// worker count and fans each batch into the experiment pool under the
+// server's base context. It exits when the queue is closed and drained.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	pool := exp.Pool{Workers: s.workers, Meter: s.meter, Progress: s.batchProgress}
+	for {
+		batch, ok := s.nextBatch()
+		if !ok {
+			return
+		}
+		s.setBatch(batch)
+		// Job failures are recorded on the job, never returned as cell
+		// errors: a failed run must not stop the pool from claiming the
+		// rest of the batch.
+		pool.RunContext(s.baseCtx, len(batch), func(ctx context.Context, i int) error {
+			s.runJob(ctx, batch[i])
+			return nil
+		})
+		s.setBatch(nil)
+		// Cells skipped by base-context cancellation never ran; fail
+		// their jobs so no submission waits forever.
+		for _, j := range batch {
+			if j.State() == StateQueued {
+				s.queued.Add(-1)
+				s.jobsFailed.Add(1)
+				j.fail(KindCanceled, shutdownCause(s.baseCtx))
+			}
+		}
+	}
+}
+
+// nextBatch blocks for one queued job, then greedily drains up to a full
+// worker complement without blocking. Returns ok=false when the queue is
+// closed and empty.
+func (s *Server) nextBatch() ([]*Job, bool) {
+	j, ok := <-s.queue
+	if !ok {
+		return nil, false
+	}
+	batch := []*Job{j}
+	for len(batch) < s.workers {
+		select {
+		case j2, ok2 := <-s.queue:
+			if !ok2 {
+				return batch, true
+			}
+			batch = append(batch, j2)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+func (s *Server) setBatch(batch []*Job) {
+	s.batchMu.Lock()
+	s.batch = batch
+	s.batchMu.Unlock()
+}
+
+// batchProgress relays pool progress to every still-running job's event
+// stream.
+func (s *Server) batchProgress(p exp.Progress) {
+	s.batchMu.Lock()
+	batch := s.batch
+	s.batchMu.Unlock()
+	ev := Event{Type: "progress", Data: map[string]any{
+		"done":               p.Done,
+		"total":              p.Total,
+		"elapsed_sec":        p.Elapsed.Seconds(),
+		"eta_sec":            p.ETA.Seconds(),
+		"sim_cycles":         p.SimCycles,
+		"sim_cycles_per_sec": p.CyclesPerSec,
+	}}
+	for _, j := range batch {
+		if j.State() == StateRunning {
+			j.publish(ev)
+		}
+	}
+}
+
+func shutdownCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return errors.New("serve: server shutting down")
+}
+
+// runJob executes one job end to end: state transitions, the simulation
+// itself, artifact writes, and error classification.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	s.queued.Add(-1)
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	j.setRunning()
+	if hook := s.testBeforeRun; hook != nil {
+		hook(j)
+	}
+	if err := ctx.Err(); err != nil {
+		s.jobsFailed.Add(1)
+		j.fail(KindCanceled, shutdownCause(ctx))
+		return
+	}
+	jctx := ctx
+	if s.cfg.JobDeadline > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
+		defer cancel()
+	}
+	res, rec, err := s.execute(jctx, j)
+	if err != nil {
+		s.jobsFailed.Add(1)
+		j.fail(classifyErr(err), err)
+		return
+	}
+	arts, err := runArtifacts(j.Spec, res, rec)
+	if err == nil {
+		err = s.cache.Put(j.ID, arts)
+	}
+	if err != nil {
+		s.jobsFailed.Add(1)
+		j.fail(KindError, err)
+		return
+	}
+	s.jobsDone.Add(1)
+	j.finish()
+}
+
+// execute builds the job's simulator with trace recording attached, runs it
+// under ctx, and returns the bit-deterministic result (host-timing fields
+// stripped after feeding the throughput meter).
+func (s *Server) execute(ctx context.Context, j *Job) (*gpu.Result, *trace.Recorder, error) {
+	rec := trace.NewRecorder()
+	sim, _, err := j.Spec.BuildWith(func(g *gpu.Options) {
+		if s.cfg.MaxCycles > 0 && (g.MaxCycles == 0 || g.MaxCycles > s.cfg.MaxCycles) {
+			g.MaxCycles = s.cfg.MaxCycles
+		}
+		g.TraceDispatch = rec.DispatchHook()
+		g.TraceQueue = rec.QueueHook()
+		g.TraceBlockDone = rec.BlockHook()
+		recordSample := rec.SampleHook()
+		g.TraceSample = func(smp gpu.Sample) {
+			recordSample(smp)
+			j.publish(Event{Type: "sample", Data: smp})
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.RunContext(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.FinishRun(sim)
+	s.meter.Add(res.Cycles)
+	res.WallTime, res.SimCyclesPerSec = 0, 0
+	return res, rec, nil
+}
+
+// runArtifacts assembles a completed run's cache entry. ResultArtifact is
+// included last-by-convention; the cache enforces write ordering itself.
+func runArtifacts(sp spec.RunSpec, res *gpu.Result, rec *trace.Recorder) ([]Artifact, error) {
+	canon, err := sp.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{
+		{Name: SpecArtifact, Write: func(w io.Writer) error {
+			_, err := w.Write(append(canon, '\n'))
+			return err
+		}},
+		{Name: EventsArtifact, Write: rec.WriteJSONL},
+		{Name: PerfettoArtifact, Write: rec.WritePerfetto},
+		{Name: TimelineArtifact, Write: func(w io.Writer) error { return exp.WriteTimelineCSV(res, w) }},
+		{Name: ReuseArtifact, Write: func(w io.Writer) error { return exp.WriteRunReuseCSV(res, w) }},
+		{Name: ResultArtifact, Write: func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		}},
+	}, nil
+}

@@ -1,0 +1,269 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+// Golden canonical form and hash of the all-defaults bfs-citation spec.
+// These are load-bearing constants: the service's cache keys and coalescing
+// identity are these hashes, so an accidental change to field order,
+// defaults, or the version breaks every deployed cache. Update them only
+// with a deliberate SpecVersion bump.
+const (
+	goldenCanonical = `{"spec_version":1,"workload":"bfs-citation","scale":"small","model":"dtbl","scheduler":"adaptive-bind","warp_policy":"gto"}`
+	goldenHash      = "3593bd798b63dfd0e06a99bcd7788377a66d66adc3e91169ed27e710a78b70ec"
+)
+
+func TestCanonicalAndHashGolden(t *testing.T) {
+	s := RunSpec{Workload: "bfs-citation"}
+	c, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != goldenCanonical {
+		t.Errorf("canonical form drifted:\n got %s\nwant %s", c, goldenCanonical)
+	}
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != goldenHash {
+		t.Errorf("hash drifted: got %s, want %s", h, goldenHash)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := RunSpec{
+		Workload:        "join-gaussian",
+		Scale:           "medium",
+		Model:           "cdp",
+		Scheduler:       "smx-bind",
+		SchedulerParams: &SchedulerParams{MaxLevels: 3, ClusterSize: 2},
+		WarpPolicy:      "lrr",
+		MaxCycles:       1_000_000,
+		SampleEvery:     512,
+		Attribution:     true,
+		Audit:           true,
+		DenseClock:      true,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Normalized(), out.Normalized()) {
+		t.Fatalf("round trip diverged:\n in  %+v\n out %+v", in.Normalized(), out.Normalized())
+	}
+}
+
+// TestHashFieldOrderInsensitive: the hash is computed over the canonical
+// form, so reordering the keys of the submitted JSON cannot change it.
+func TestHashFieldOrderInsensitive(t *testing.T) {
+	a, err := Parse([]byte(`{"workload":"amr","model":"cdp","scale":"tiny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte(`{"scale":"tiny","model":"cdp","workload":"amr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("field order changed the hash: %s vs %s", ha, hb)
+	}
+}
+
+// TestHashDefaultInsensitive: spelling a default out hashes identically to
+// omitting it.
+func TestHashDefaultInsensitive(t *testing.T) {
+	implicit := RunSpec{Workload: "bht"}
+	explicit := RunSpec{
+		SpecVersion: 1, Workload: "bht", Scale: "small", Model: "dtbl",
+		Scheduler: "adaptive-bind", WarpPolicy: "gto",
+		SchedulerParams: &SchedulerParams{}, // all-zero params normalize away
+	}
+	hi, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi != he {
+		t.Errorf("explicit defaults changed the hash: %s vs %s", hi, he)
+	}
+}
+
+// TestHashSensitivity: every semantic difference must change the hash.
+func TestHashSensitivity(t *testing.T) {
+	base := RunSpec{Workload: "bfs-citation"}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]RunSpec{
+		"workload":     {Workload: "bfs-graph5"},
+		"scale":        {Workload: "bfs-citation", Scale: "tiny"},
+		"model":        {Workload: "bfs-citation", Model: "cdp"},
+		"scheduler":    {Workload: "bfs-citation", Scheduler: "rr"},
+		"sched-params": {Workload: "bfs-citation", SchedulerParams: &SchedulerParams{MaxLevels: 2}},
+		"warp-policy":  {Workload: "bfs-citation", WarpPolicy: "lrr"},
+		"max-cycles":   {Workload: "bfs-citation", MaxCycles: 12345},
+		"sample-every": {Workload: "bfs-citation", SampleEvery: 64},
+		"attribution":  {Workload: "bfs-citation", Attribution: true},
+		"audit":        {Workload: "bfs-citation", Audit: true},
+		"dense-clock":  {Workload: "bfs-citation", DenseClock: true},
+	}
+	for name, v := range variants {
+		h, err := v.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == h0 {
+			t.Errorf("changing %s did not change the hash", name)
+		}
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	_, err := Parse([]byte(`{"workload":"amr","scael":"tiny"}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if !strings.Contains(err.Error(), "scael") {
+		t.Errorf("error does not name the unknown field: %v", err)
+	}
+}
+
+func TestTrailingDataRejected(t *testing.T) {
+	if _, err := Parse([]byte(`{"workload":"amr"}{"workload":"bht"}`)); err == nil {
+		t.Fatal("trailing JSON accepted")
+	}
+}
+
+// TestVersionBump: a spec from a future schema version must be rejected, not
+// misinterpreted — and a (hypothetical) version change alters the hash, so a
+// bump invalidates every cache entry by construction.
+func TestVersionBump(t *testing.T) {
+	future := RunSpec{SpecVersion: CurrentVersion + 1, Workload: "amr"}
+	if err := future.Validate(); err == nil {
+		t.Fatal("future spec_version accepted")
+	}
+	if _, err := future.Hash(); err == nil {
+		t.Fatal("Hash succeeded on an invalid spec")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]RunSpec{
+		"empty-workload":   {},
+		"unknown-workload": {Workload: "nope"},
+		"unknown-scale":    {Workload: "amr", Scale: "huge"},
+		"unknown-model":    {Workload: "amr", Model: "sycl"},
+		"unknown-sched":    {Workload: "amr", Scheduler: "fifo"},
+		"unknown-warp":     {Workload: "amr", WarpPolicy: "two-level"},
+		"neg-levels":       {Workload: "amr", SchedulerParams: &SchedulerParams{MaxLevels: -1}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+	var ue *kernels.UnknownWorkloadError
+	if err := (RunSpec{Workload: "nope"}).Validate(); !errors.As(err, &ue) {
+		t.Errorf("unknown workload error is %T, want *kernels.UnknownWorkloadError", err)
+	}
+}
+
+// TestNormalizedDoesNotAliasParams: Normalized must deep-copy
+// SchedulerParams so mutating the copy cannot change the original's hash.
+func TestNormalizedDoesNotAliasParams(t *testing.T) {
+	orig := RunSpec{Workload: "amr", SchedulerParams: &SchedulerParams{MaxLevels: 2}}
+	n := orig.Normalized()
+	n.SchedulerParams.MaxLevels = 9
+	if orig.SchedulerParams.MaxLevels != 2 {
+		t.Fatal("Normalized aliased SchedulerParams")
+	}
+}
+
+// TestBuildRuns: a spec builds into a simulator that runs to completion, and
+// equal specs produce identical Results.
+func TestBuildRuns(t *testing.T) {
+	s := RunSpec{Workload: "amr", Scale: "tiny", Scheduler: "rr", SampleEvery: 1024}
+	run := func() *gpu.Result {
+		sim, w, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != "amr" {
+			t.Fatalf("Build returned workload %q", w.Name)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.WallTime, res.SimCyclesPerSec = 0, 0
+		return res
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("equal specs produced different Results")
+	}
+	if len(r1.Timeline) == 0 {
+		t.Error("SampleEvery did not produce a timeline")
+	}
+}
+
+// TestBuildWithHook: BuildWith's customize hook sees (and can edit) the
+// assembled options.
+func TestBuildWithHook(t *testing.T) {
+	s := RunSpec{Workload: "amr", Scale: "tiny", Scheduler: "rr"}
+	dispatches := 0
+	sim, _, err := s.BuildWith(func(g *gpu.Options) {
+		if g.Config == nil || g.Scheduler == nil {
+			t.Error("hook ran before options were assembled")
+		}
+		g.TraceDispatch = func(*gpu.KernelInstance, int, int, uint64) { dispatches++ }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dispatches == 0 {
+		t.Error("customize hook's trace was not wired through")
+	}
+}
+
+// TestSchedulerParamsApplied: SchedulerParams override the Table I values
+// handed to the scheduler factory and change the built scheduler.
+func TestSchedulerParamsApplied(t *testing.T) {
+	s := RunSpec{Workload: "amr", Scheduler: "tb-pri",
+		SchedulerParams: &SchedulerParams{MaxLevels: 1}}
+	gopts, _, err := s.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gopts.Config.MaxPriorityLevels != 1 {
+		t.Errorf("MaxPriorityLevels = %d, want 1", gopts.Config.MaxPriorityLevels)
+	}
+}

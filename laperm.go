@@ -33,7 +33,8 @@
 //		Model:     laperm.DTBL,
 //	})
 //	if err != nil { ... }
-//	w, _ := laperm.WorkloadByName("bfs-citation")
+//	w, err := laperm.WorkloadByName("bfs-citation")
+//	if err != nil { ... }
 //	if err := sim.LaunchHost(w.Build(laperm.ScaleSmall)); err != nil { ... }
 //	res, err := sim.Run()
 //
@@ -53,6 +54,7 @@ import (
 	"laperm/internal/kernels"
 	"laperm/internal/mem"
 	"laperm/internal/metrics"
+	"laperm/internal/spec"
 	"laperm/internal/trace"
 )
 
@@ -98,6 +100,12 @@ type (
 	InvariantError = gpu.InvariantError
 	// CycleLimitError is returned by Run when MaxCycles is exceeded.
 	CycleLimitError = gpu.CycleLimitError
+	// CanceledError is returned by RunContext when its context is
+	// canceled or times out mid-run.
+	CanceledError = gpu.CanceledError
+	// UnknownWorkloadError is returned by WorkloadByName (and RunSpec
+	// validation) for a name not in Table II; it lists the valid names.
+	UnknownWorkloadError = kernels.UnknownWorkloadError
 	// StuckKernel describes one stuck kernel inside a DeadlockError.
 	StuckKernel = gpu.StuckKernel
 	// Sample is one window of a run's sampled timeline
@@ -112,7 +120,23 @@ type (
 	// TraceRecorder accumulates structured run events and exports them as
 	// JSON Lines or Chrome/Perfetto trace_event JSON.
 	TraceRecorder = trace.Recorder
+	// RunSpec is a versioned, JSON-serializable description of one run:
+	// workload, scale, model, scheduler (name + params), and simulation
+	// options. Validate it, Hash it for content addressing, or Build it
+	// into a ready-to-run *Simulator. The lapermd service accepts RunSpec
+	// JSON on POST /v1/runs.
+	RunSpec = spec.RunSpec
+	// SchedulerParams tunes the scheduler named in a RunSpec.
+	SchedulerParams = spec.SchedulerParams
 )
+
+// CurrentSpecVersion is the RunSpec schema version this build writes and the
+// newest it accepts (see internal/spec for the compatibility policy).
+const CurrentSpecVersion = spec.CurrentVersion
+
+// ParseRunSpec decodes a RunSpec from JSON, rejecting unknown fields. The
+// result is not yet validated; call Validate (or Build) next.
+func ParseRunSpec(data []byte) (RunSpec, error) { return spec.Parse(data) }
 
 // Cache-hit reuse classes.
 const (
@@ -192,8 +216,10 @@ func NewScheduler(name string, cfg *Config) (Scheduler, error) {
 // Workloads returns every Table II workload.
 func Workloads() []Workload { return kernels.All() }
 
-// WorkloadByName returns the named Table II workload.
-func WorkloadByName(name string) (Workload, bool) { return kernels.ByName(name) }
+// WorkloadByName returns the named Table II workload. An unknown name yields
+// a structured *UnknownWorkloadError listing the valid names; inspect it with
+// errors.As.
+func WorkloadByName(name string) (Workload, error) { return kernels.Lookup(name) }
 
 // AnalyzeFootprint computes the Section III-A shared-footprint ratios for a
 // workload program.

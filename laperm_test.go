@@ -20,9 +20,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 			Scheduler: mk(&cfg),
 			Model:     laperm.DTBL,
 		})
-		w, ok := laperm.WorkloadByName("bfs-citation")
-		if !ok {
-			t.Fatal("bfs-citation not registered")
+		w, err := laperm.WorkloadByName("bfs-citation")
+		if err != nil {
+			t.Fatal(err)
 		}
 		if err := sim.LaunchHost(w.Build(laperm.ScaleTiny)); err != nil {
 			t.Fatal(err)
