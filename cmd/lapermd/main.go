@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"laperm/internal/faults"
 	"laperm/internal/serve"
 )
 
@@ -37,11 +38,36 @@ func main() {
 	cacheDir := flag.String("cache-dir", "lapermd-cache", "content-addressed result cache directory")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache byte budget, LRU-evicted (0 = unlimited)")
 	workers := flag.Int("workers", 0, "max concurrently executing runs (0 = GOMAXPROCS)")
-	queueDepth := flag.Int("queue-depth", 256, "max queued-but-unstarted runs before submissions get 503")
+	queueDepth := flag.Int("queue-depth", 256, "max queued-but-unstarted runs before submissions are shed with 429")
 	jobDeadline := flag.Duration("job-deadline", 0, "per-run wall-clock budget (0 = unlimited)")
 	maxCycles := flag.Uint64("max-cycles", 0, "per-run simulated-cycle cap (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight runs are canceled")
+	retryLimit := flag.Int("retry-limit", 0, "transient-failure retries per run before it fails (0 = default 2, negative = disabled)")
+	faultSpec := flag.String("faults", "", "fault-injection schedule, e.g. 'serve.cache.write=error:p=0.5:n=2' (default: $"+faults.EnvVar+")")
+	faultSeed := flag.Uint64("faults-seed", 0, "deterministic seed for -faults draws (default: $"+faults.EnvSeedVar+", else 1)")
 	flag.Parse()
+
+	var reg *faults.Registry
+	if *faultSpec != "" {
+		seed := *faultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		r, err := faults.Parse(*faultSpec, seed)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		reg = r
+	} else {
+		r, err := faults.FromEnv()
+		if err != nil {
+			log.Fatalf("%s: %v", faults.EnvVar, err)
+		}
+		reg = r
+	}
+	if reg != nil {
+		log.Printf("fault injection armed: %s (seed %d)", reg.Spec(), reg.Seed())
+	}
 
 	srv, err := serve.New(serve.Config{
 		CacheDir:      *cacheDir,
@@ -50,6 +76,8 @@ func main() {
 		QueueDepth:    *queueDepth,
 		JobDeadline:   *jobDeadline,
 		MaxCycles:     *maxCycles,
+		RetryLimit:    *retryLimit,
+		Faults:        reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"laperm/internal/faults"
 )
 
 // Progress is one sweep-progress observation delivered to a ProgressFunc.
@@ -63,6 +65,11 @@ type Pool struct {
 	// Meter, when non-nil, supplies the simulated-cycle totals reported
 	// in Progress observations (cells must feed it; see Options.Meter).
 	Meter *Meter
+	// Faults, when non-nil, arms deterministic failure injection at
+	// faults.SiteCellRun inside each cell's recovery scope: error faults
+	// become cell errors, panic faults are recovered into *PanicError —
+	// a crashing or flaking worker. Nil keeps the site zero-cost.
+	Faults *faults.Registry
 }
 
 // PanicError is a panic recovered from a worker-pool cell, surfaced as an
@@ -176,7 +183,7 @@ func (p Pool) RunContext(ctx context.Context, n int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
-				finish(i, runCell(ctx, i, fn))
+				finish(i, runCell(ctx, i, p.Faults, fn))
 			}
 		}()
 	}
@@ -187,8 +194,10 @@ func (p Pool) RunContext(ctx context.Context, n int, fn func(ctx context.Context
 	return firstErr
 }
 
-// runCell executes one cell with panic recovery.
-func runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+// runCell executes one cell with panic recovery. The cell failpoint sits
+// inside the recovery scope, so injected panics exercise the same recovery
+// path a real worker crash would.
+func runCell(ctx context.Context, i int, flts *faults.Registry, fn func(ctx context.Context, i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			buf := make([]byte, 64<<10)
@@ -196,6 +205,9 @@ func runCell(ctx context.Context, i int, fn func(ctx context.Context, i int) err
 			err = &PanicError{Cell: i, Value: r, Stack: buf}
 		}
 	}()
+	if err := flts.Hit(faults.SiteCellRun); err != nil {
+		return err
+	}
 	return fn(ctx, i)
 }
 

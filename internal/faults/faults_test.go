@@ -1,0 +1,231 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, spec string, seed uint64) *Registry {
+	t.Helper()
+	r, err := Parse(spec, seed)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	return r
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"no.such.site=error",
+		"serve.cache.write=explode",
+		"serve.cache.write=error:p=2",
+		"serve.cache.write=error:p=0",
+		"serve.cache.write=error:bogus",
+		"serve.cache.write=error:n=x",
+		"serve.cache.write=delay:d=-1s",
+		"serve.cache.write=error;serve.cache.write=panic",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+// TestErrorFaultFiresAndExhausts: an n-limited error rule fires exactly n
+// times, as *InjectedError, then goes quiet.
+func TestErrorFaultFiresAndExhausts(t *testing.T) {
+	r := mustParse(t, "serve.cache.write=error:n=2", 1)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if err := r.Hit(SiteCacheWrite); err != nil {
+			fired++
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Site != SiteCacheWrite {
+				t.Fatalf("err = %T %v, want *InjectedError at %s", err, err, SiteCacheWrite)
+			}
+			if !IsInjected(err) {
+				t.Fatal("IsInjected = false for an injected error")
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want exactly 2", fired)
+	}
+	if c := r.Counts()[SiteCacheWrite]; c.Evals != 10 || c.Fired != 2 {
+		t.Fatalf("counts = %+v, want 10 evals / 2 fired", c)
+	}
+}
+
+// TestUnarmedSiteIsInert: sites not in the spec never fire.
+func TestUnarmedSiteIsInert(t *testing.T) {
+	r := mustParse(t, "serve.cache.write=error", 1)
+	for i := 0; i < 100; i++ {
+		if err := r.Hit(SiteSSEFlush); err != nil {
+			t.Fatalf("unarmed site fired: %v", err)
+		}
+	}
+}
+
+// TestPanicFaultPanicsWithInjectedError: the panic value is the structured
+// *InjectedError, so recovery layers can classify it as transient.
+func TestPanicFaultPanicsWithInjectedError(t *testing.T) {
+	r := mustParse(t, "exp.cell.run=panic:n=1", 1)
+	defer func() {
+		v := recover()
+		ie, ok := v.(*InjectedError)
+		if !ok || ie.Site != SiteCellRun || ie.Kind != KindPanic {
+			t.Fatalf("panic value = %T %v, want *InjectedError at %s", v, v, SiteCellRun)
+		}
+	}()
+	r.Hit(SiteCellRun)
+	t.Fatal("panic fault did not panic")
+}
+
+// TestDelayFaultSleeps: delay faults add latency, and return nil.
+func TestDelayFaultSleeps(t *testing.T) {
+	r := mustParse(t, "gpu.run.poll=delay:d=20ms:n=1", 1)
+	start := time.Now()
+	if err := r.Hit(SiteGPURunPoll); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("delay fault slept %v, want >= 20ms", el)
+	}
+	if err := r.Hit(SiteGPURunPoll); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProbabilisticFiresAreDeterministic: the same (spec, seed) produces the
+// same fire pattern on every replay, and a different seed a different one.
+func TestProbabilisticFiresAreDeterministic(t *testing.T) {
+	pattern := func(seed uint64) string {
+		r := mustParse(t, "serve.cache.read=error:p=0.5", seed)
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if r.Hit(SiteCacheRead) != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	p1, p2 := pattern(7), pattern(7)
+	if p1 != p2 {
+		t.Fatalf("same seed diverged:\n%s\n%s", p1, p2)
+	}
+	if p3 := pattern(8); p3 == p1 {
+		t.Fatalf("seeds 7 and 8 produced identical patterns: %s", p1)
+	}
+	fires := strings.Count(p1, "x")
+	if fires < 16 || fires > 48 {
+		t.Fatalf("p=0.5 fired %d/64 times; decision function looks biased", fires)
+	}
+}
+
+// TestPartialWriterTearsFirstWrite: a partial fault writes half the first
+// buffer, then fails with the injected error; nothing further lands.
+func TestPartialWriterTearsFirstWrite(t *testing.T) {
+	r := mustParse(t, "serve.cache.write=partial:n=1", 1)
+	var buf bytes.Buffer
+	w := r.Writer(SiteCacheWrite, &buf)
+	n, err := w.Write([]byte("0123456789"))
+	if n != 5 || !IsInjected(err) {
+		t.Fatalf("torn write = (%d, %v), want (5, injected error)", n, err)
+	}
+	if buf.String() != "01234" {
+		t.Fatalf("buffer = %q, want the first half only", buf.String())
+	}
+	if _, err := w.Write([]byte("more")); !IsInjected(err) {
+		t.Fatalf("write after tear = %v, want the injected error again", err)
+	}
+	// The rule is exhausted: the next wrap is a clean pass-through.
+	var buf2 bytes.Buffer
+	w2 := r.Writer(SiteCacheWrite, &buf2)
+	if _, err := w2.Write([]byte("ok")); err != nil || buf2.String() != "ok" {
+		t.Fatalf("exhausted writer site still faulty: %q, %v", buf2.String(), err)
+	}
+}
+
+// TestSpecRoundTrips: Spec() canonicalizes into a form Parse accepts with
+// identical behaviour — the replay contract for chaos artifacts.
+func TestSpecRoundTrips(t *testing.T) {
+	in := "serve.sse.flush=error:p=0.25:n=3;gpu.run.poll=delay:d=2ms;exp.cell.run=panic:after=1"
+	r := mustParse(t, in, 9)
+	r2 := mustParse(t, r.Spec(), 9)
+	if r.Spec() != r2.Spec() {
+		t.Fatalf("Spec round-trip diverged:\n%s\n%s", r.Spec(), r2.Spec())
+	}
+	if (*Registry)(nil).Spec() != "" {
+		t.Fatal("nil registry Spec not empty")
+	}
+}
+
+// TestFromEnv: the env arming path, including the disarmed default.
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if r, err := FromEnv(); err != nil || r != nil {
+		t.Fatalf("empty env: (%v, %v), want (nil, nil)", r, err)
+	}
+	t.Setenv(EnvVar, "serve.submit=error:n=1")
+	t.Setenv(EnvSeedVar, "42")
+	r, err := FromEnv()
+	if err != nil || r == nil || r.Seed() != 42 {
+		t.Fatalf("FromEnv = (%v, %v), want an armed registry with seed 42", r, err)
+	}
+	t.Setenv(EnvSeedVar, "nope")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+// TestDisarmedSitesZeroAlloc is the acceptance criterion for disarmed cost:
+// every catalog site, hit through a nil registry (the disarmed wiring) and
+// through an armed registry in which the site is quiet, performs zero
+// allocations per call.
+func TestDisarmedSitesZeroAlloc(t *testing.T) {
+	var nilReg *Registry
+	armed := mustParse(t, "serve.cache.write=error:after=1000000000", 1)
+	for _, site := range Sites {
+		site := site
+		if n := testing.AllocsPerRun(1000, func() {
+			if err := nilReg.Hit(site); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("nil registry: site %s allocates %v per hit", site, n)
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			if err := armed.Hit(site); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("armed-quiet registry: site %s allocates %v per hit", site, n)
+		}
+	}
+	var buf bytes.Buffer
+	if n := testing.AllocsPerRun(1000, func() {
+		if w := nilReg.Writer(SiteCacheWrite, &buf); w != &buf {
+			t.Fatal("nil registry Writer did not pass through")
+		}
+	}); n != 0 {
+		t.Errorf("nil registry: Writer allocates %v per wrap", n)
+	}
+}
+
+// BenchmarkDisarmedHit pins the disarmed fast path for profiling; its
+// allocs/op must report 0.
+func BenchmarkDisarmedHit(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Hit(SiteGPURunPoll); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

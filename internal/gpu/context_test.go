@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
+	"laperm/internal/config"
 	"laperm/internal/core"
+	"laperm/internal/faults"
 	"laperm/internal/gpu"
 )
 
@@ -111,5 +114,139 @@ func TestRunContextDeadline(t *testing.T) {
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("cause not unwrapped to DeadlineExceeded: %v", err)
+	}
+}
+
+// deadlockSim builds a fresh circular-wait simulator (the harden_test
+// workload) with an aggressive watchdog, optionally with an armed failpoint
+// registry — the substrate for the cancellation/watchdog race tests.
+func deadlockSim(t *testing.T, reg *faults.Registry) *gpu.Simulator {
+	t.Helper()
+	cfg := config.SmallTest()
+	cfg.MaxConcurrentKernels = 4
+	cfg.KMUPendingCapacity = 2
+	cfg.CDPLaunchLatency = 100
+	sim := gpu.MustNew(gpu.Options{
+		Config:           &cfg,
+		Scheduler:        core.NewRoundRobin(),
+		Model:            gpu.CDP,
+		WatchdogInterval: 2_000,
+		DenseClock:       true,
+		Faults:           reg,
+	})
+	mustLaunch(t, sim, deadlockWorkload(16, 7))
+	return sim
+}
+
+// oneStructuredKind asserts the run error is exactly one of the structured
+// kinds a deadlocking-and-canceled run may legally surface — *CanceledError
+// or *DeadlockError, never both, never a plain error — and names which.
+func oneStructuredKind(t *testing.T, err error) string {
+	t.Helper()
+	if err == nil {
+		t.Fatal("deadlocking run returned nil error")
+	}
+	var de *gpu.DeadlockError
+	var ce *gpu.CanceledError
+	isDeadlock, isCanceled := errors.As(err, &de), errors.As(err, &ce)
+	switch {
+	case isDeadlock && isCanceled:
+		t.Fatalf("error is both deadlock and canceled: %v", err)
+	case isDeadlock:
+		return "deadlock"
+	case isCanceled:
+		return "canceled"
+	}
+	t.Fatalf("err = %T %v, want *DeadlockError or *CanceledError", err, err)
+	return ""
+}
+
+// TestCancelRacingWatchdog: a run that deadlocks *and* gets canceled must
+// deterministically report one structured error kind, under -race. The two
+// deterministic extremes pin which side wins; the concurrent subtests race
+// the cancellation against the watchdog (with injected poll latency widening
+// the window) and require that exactly one structured kind surfaces every
+// time.
+func TestCancelRacingWatchdog(t *testing.T) {
+	t.Run("cancel-before-run always wins", func(t *testing.T) {
+		for rep := 0; rep < 3; rep++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := deadlockSim(t, nil).RunContext(ctx)
+			if kind := oneStructuredKind(t, err); kind != "canceled" {
+				t.Fatalf("rep %d: kind = %s, want canceled", rep, kind)
+			}
+		}
+	})
+	t.Run("no-cancel always deadlocks at the same cycle", func(t *testing.T) {
+		var cycle uint64
+		for rep := 0; rep < 3; rep++ {
+			_, err := deadlockSim(t, nil).RunContext(context.Background())
+			if kind := oneStructuredKind(t, err); kind != "deadlock" {
+				t.Fatalf("rep %d: kind = %s, want deadlock", rep, kind)
+			}
+			var de *gpu.DeadlockError
+			errors.As(err, &de)
+			if rep == 0 {
+				cycle = de.Cycle
+			} else if de.Cycle != cycle {
+				t.Fatalf("rep %d: deadlock cycle %d, rep 0 saw %d (nondeterministic)", rep, de.Cycle, cycle)
+			}
+		}
+	})
+	t.Run("concurrent cancel yields exactly one kind", func(t *testing.T) {
+		for rep := 0; rep < 5; rep++ {
+			sim := deadlockSim(t, nil)
+			ctx, cancel := context.WithCancel(context.Background())
+			go func(d time.Duration) {
+				time.Sleep(d)
+				cancel()
+			}(time.Duration(rep) * 500 * time.Microsecond)
+			_, err := sim.RunContext(ctx)
+			t.Logf("rep %d: %s", rep, oneStructuredKind(t, err))
+			cancel()
+		}
+	})
+	t.Run("injected poll latency widens the race", func(t *testing.T) {
+		for rep := 0; rep < 3; rep++ {
+			reg, err := faults.Parse("gpu.run.poll=delay:d=1ms:p=0.5", uint64(rep+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := deadlockSim(t, reg)
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(time.Millisecond)
+				cancel()
+			}()
+			_, rerr := sim.RunContext(ctx)
+			t.Logf("rep %d: %s", rep, oneStructuredKind(t, rerr))
+			cancel()
+		}
+	})
+}
+
+// TestInjectedEngineFaultSurfaces: an error fault at the engine's poll site
+// aborts the run with the structured *faults.InjectedError (the transient
+// kind upstream retry policies key on), and an exhausted schedule lets a
+// fresh simulator complete the same workload normally.
+func TestInjectedEngineFaultSurfaces(t *testing.T) {
+	reg, err := faults.Parse("gpu.run.poll=error:n=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *gpu.Simulator {
+		cfg := smallCfg()
+		sim := gpu.MustNew(gpu.Options{Config: cfg, Scheduler: core.NewRoundRobin(), DenseClock: true, Faults: reg})
+		mustLaunch(t, sim, simpleKernel("k", 4096))
+		return sim
+	}
+	_, rerr := mk().RunContext(context.Background())
+	if !faults.IsInjected(rerr) {
+		t.Fatalf("run with armed poll fault returned %T %v, want injected error", rerr, rerr)
+	}
+	res, rerr := mk().RunContext(context.Background())
+	if rerr != nil || res == nil {
+		t.Fatalf("run after fault exhaustion failed: %v", rerr)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"laperm/internal/config"
+	"laperm/internal/faults"
 	"laperm/internal/isa"
 	"laperm/internal/mem"
 	"laperm/internal/smx"
@@ -217,6 +218,11 @@ type Options struct {
 	// differential-testing oracle and debugging escape hatch, not a
 	// fidelity knob.
 	DenseClock bool
+	// Faults, when non-nil, arms deterministic failure injection at the
+	// engine's failpoint sites (faults.SiteGPURunPoll at the throttled
+	// cancellation poll, faults.SiteGPUWatchdog at each watchdog check).
+	// Nil — the default — keeps every site zero-cost.
+	Faults *faults.Registry
 }
 
 // DefaultMaxCycles is the runaway-simulation guard used when Options leaves
@@ -312,6 +318,9 @@ type Simulator struct {
 	schedLive int
 	started     time.Time
 
+	// flts is the armed failpoint registry (nil = disarmed, zero-cost).
+	flts *faults.Registry
+
 	hostPending []*isa.Kernel
 	ran         bool
 }
@@ -354,6 +363,7 @@ func New(opts Options) (*Simulator, error) {
 		watchdogEvery: watchdog,
 		audit:         opts.Audit,
 		ff:            !opts.DenseClock,
+		flts:          opts.Faults,
 	}
 	if ia, ok := opts.Scheduler.(IdleAware); ok {
 		if p := ia.IdleSelectPeriod(); p > 0 {
@@ -765,6 +775,12 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	var iter uint64
 	for s.now < s.maxCycles {
 		if iter++; iter&ctxCheckMask == 0 {
+			// The failpoint shares the poll cadence: error faults
+			// surface as a transient engine failure, delay faults
+			// widen the cancellation/watchdog race window.
+			if err := s.flts.Hit(faults.SiteGPURunPoll); err != nil {
+				return nil, err
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, &CanceledError{Cycle: s.now, Live: s.live, Cause: context.Cause(ctx)}
 			}

@@ -1,5 +1,7 @@
 package gpu
 
+import "laperm/internal/faults"
+
 // The forward-progress watchdog. Every WatchdogInterval cycles the engine
 // snapshots a progress vector — everything that changes when the machine
 // does useful work — and compares it with the previous snapshot. Live work
@@ -54,6 +56,9 @@ func (s *Simulator) progress() progressVec {
 // covers warps stalled at a launch — those need the engine to free a queue
 // entry, which is exactly the dependency a deadlock breaks.
 func (s *Simulator) watchdogCheck() error {
+	if err := s.flts.Hit(faults.SiteGPUWatchdog); err != nil {
+		return err
+	}
 	cur := s.progress()
 	prev := s.lastProgress
 	s.lastProgress = cur

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"laperm/internal/faults"
 )
 
 func hexID(digit byte, n int) string { return strings.Repeat(string(digit), n) }
@@ -42,8 +45,10 @@ func TestCachePutLookupReopen(t *testing.T) {
 	if got, err := c.ReadArtifact(id, ResultArtifact); err != nil || string(got) != `{}` {
 		t.Fatalf("ReadArtifact = %q, %v", got, err)
 	}
-	if st := c.Stats(); st.Entries != 1 || st.Bytes != 102 {
-		t.Fatalf("stats = %+v, want 1 entry of 102 bytes", st)
+	// 102 payload bytes (100 + `{}`) plus the integrity manifest.
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes <= 102 {
+		t.Fatalf("stats = %+v, want 1 entry of >102 bytes (payload + manifest)", st)
 	}
 
 	// A fresh Cache over the same directory must index the entry: the
@@ -55,8 +60,8 @@ func TestCachePutLookupReopen(t *testing.T) {
 	if _, ok := c2.Lookup(id); !ok {
 		t.Fatal("entry lost across reopen")
 	}
-	if st := c2.Stats(); st.Entries != 1 || st.Bytes != 102 {
-		t.Fatalf("reopened stats = %+v", st)
+	if st2 := c2.Stats(); st2.Entries != 1 || st2.Bytes != st.Bytes {
+		t.Fatalf("reopened stats = %+v, want %+v", st2, st)
 	}
 }
 
@@ -88,17 +93,25 @@ func TestCacheIncompleteEntryDiscarded(t *testing.T) {
 // TestCacheLRUEviction: over-budget Puts evict the least-recently-used
 // entry; a Lookup refreshes recency.
 func TestCacheLRUEviction(t *testing.T) {
-	c, err := OpenCache(t.TempDir(), 250)
+	// Probe the on-disk size of one entry (payload + manifest), then
+	// budget for two entries but not three.
+	probe, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putEntry(t, probe, hexID('f', 64), 100)
+	entrySize := probe.Stats().Bytes
+	c, err := OpenCache(t.TempDir(), 2*entrySize+entrySize/2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	id1, id2, id3 := hexID('a', 64), hexID('b', 64), hexID('c', 64)
-	putEntry(t, c, id1, 100) // 102 bytes each
+	putEntry(t, c, id1, 100)
 	putEntry(t, c, id2, 100)
 	if _, ok := c.Lookup(id1); !ok { // refresh id1: id2 becomes LRU
 		t.Fatal("id1 missing")
 	}
-	putEntry(t, c, id3, 100) // 306 > 250: evict exactly one, the LRU (id2)
+	putEntry(t, c, id3, 100) // 3 entries > budget: evict exactly one, the LRU (id2)
 	if _, ok := c.Lookup(id2); ok {
 		t.Fatal("LRU entry id2 survived eviction")
 	}
@@ -157,5 +170,189 @@ func TestCachePutExistingIsNoop(t *testing.T) {
 	}
 	if after := c.Stats(); after != before {
 		t.Fatalf("second Put changed stats: %+v -> %+v", before, after)
+	}
+}
+
+// mustRegistry parses a fault schedule for cache fault tests.
+func mustRegistry(t *testing.T, spec string) *faults.Registry {
+	t.Helper()
+	r, err := faults.Parse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestCacheCorruptArtifactDiscarded: flipping bytes in a cached artifact is
+// detected by the manifest hash check on read; the poisoned entry is
+// discarded (never served) and subsequent lookups miss, so the run
+// re-executes.
+func TestCacheCorruptArtifactDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := hexID('5', 64)
+	putEntry(t, c, id, 100)
+	// Corrupt the payload in place — a torn write or bit rot.
+	if err := os.WriteFile(filepath.Join(dir, id, ResultArtifact), []byte(`{"x":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ReadArtifact(id, ResultArtifact)
+	var ce *CorruptEntryError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ReadArtifact on corrupt entry = %v, want *CorruptEntryError", err)
+	}
+	if ce.ID != id || ce.Artifact != ResultArtifact {
+		t.Errorf("CorruptEntryError = %+v", ce)
+	}
+	if _, ok := c.Lookup(id); ok {
+		t.Fatal("corrupt entry still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, id)); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed from disk")
+	}
+	st := c.Stats()
+	if st.Corruptions != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after corruption = %+v", st)
+	}
+}
+
+// TestCacheTruncatedArtifactDiscarded: crash-truncated bytes (shorter than
+// the manifest recorded) fail verification the same way.
+func TestCacheTruncatedArtifactDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := hexID('6', 64)
+	putEntry(t, c, id, 100)
+	if err := os.Truncate(filepath.Join(dir, id, "data.bin"), 10); err != nil {
+		t.Fatal(err)
+	}
+	var ce *CorruptEntryError
+	if _, err := c.ReadArtifact(id, "data.bin"); !errors.As(err, &ce) {
+		t.Fatalf("ReadArtifact on truncated entry = %v, want *CorruptEntryError", err)
+	}
+	if _, ok := c.Lookup(id); ok {
+		t.Fatal("truncated entry still indexed")
+	}
+}
+
+// TestCacheManifestlessEntryIsDebris: an entry with a completion marker but
+// no manifest (a torn write, or the pre-manifest format) is unverifiable
+// and is removed on open.
+func TestCacheManifestlessEntryIsDebris(t *testing.T) {
+	dir := t.TempDir()
+	id := hexID('7', 64)
+	entry := filepath.Join(dir, id)
+	if err := os.MkdirAll(entry, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(entry, ResultArtifact), []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup(id); ok {
+		t.Fatal("manifestless entry served")
+	}
+	if _, err := os.Stat(entry); !os.IsNotExist(err) {
+		t.Fatal("manifestless entry not removed")
+	}
+}
+
+// TestCacheInjectedWriteFault: an armed write failpoint fails Put cleanly —
+// the entry is never indexed and a retry (fault exhausted) succeeds against
+// the same id.
+func TestCacheInjectedWriteFault(t *testing.T) {
+	c, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.flts = mustRegistry(t, "serve.cache.write=error:n=1")
+	id := hexID('8', 64)
+	err = c.Put(id, []Artifact{
+		bytesArtifact("data.bin", make([]byte, 50)),
+		bytesArtifact(ResultArtifact, []byte(`{}`)),
+	})
+	if !faults.IsInjected(err) {
+		t.Fatalf("Put under write fault = %v, want injected error", err)
+	}
+	if _, ok := c.Lookup(id); ok {
+		t.Fatal("failed Put left an indexed entry")
+	}
+	putEntry(t, c, id, 50) // fault exhausted: retry succeeds
+	if got, err := c.ReadArtifact(id, ResultArtifact); err != nil || string(got) != `{}` {
+		t.Fatalf("retry after write fault: %q, %v", got, err)
+	}
+}
+
+// TestCacheInjectedPartialWriteFault: a partial-write fault tears an
+// artifact mid-stream. The atomic writer never renames a failed write into
+// place, so the entry directory holds no completion marker and a reopened
+// cache treats it as debris.
+func TestCacheInjectedPartialWriteFault(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.flts = mustRegistry(t, "serve.cache.write=partial:n=1")
+	id := hexID('9', 64)
+	err = c.Put(id, []Artifact{
+		bytesArtifact("data.bin", make([]byte, 64)),
+		bytesArtifact(ResultArtifact, []byte(`{}`)),
+	})
+	if !faults.IsInjected(err) {
+		t.Fatalf("Put under partial fault = %v, want injected error", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id, ResultArtifact)); err == nil {
+		t.Fatal("torn Put left a completion marker")
+	}
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Lookup(id); ok {
+		t.Fatal("torn entry indexed on reopen")
+	}
+}
+
+// TestCacheInjectedEvictFault: an eviction fault models RemoveAll failing —
+// the index stays consistent (the victim is gone from memory) and the
+// orphaned directory is re-indexed by a later open.
+func TestCacheInjectedEvictFault(t *testing.T) {
+	probe, err := OpenCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putEntry(t, probe, hexID('f', 64), 100)
+	entrySize := probe.Stats().Bytes
+	dir := t.TempDir()
+	c, err := OpenCache(dir, entrySize+entrySize/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.flts = mustRegistry(t, "serve.cache.evict=error:n=1")
+	id1, id2 := hexID('a', 64), hexID('b', 64)
+	putEntry(t, c, id1, 100)
+	putEntry(t, c, id2, 100) // evicts id1; injected fault skips the disk removal
+	if _, ok := c.Lookup(id1); ok {
+		t.Fatal("evicted entry still indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, id1)); err != nil {
+		t.Fatalf("fault should have orphaned the directory on disk: %v", err)
+	}
+	c2, err := OpenCache(dir, 10*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Lookup(id1); !ok {
+		t.Fatal("orphaned complete entry not re-indexed on reopen")
 	}
 }

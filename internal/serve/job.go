@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"laperm/internal/exp"
+	"laperm/internal/faults"
 	"laperm/internal/gpu"
 	"laperm/internal/spec"
 )
@@ -33,6 +34,7 @@ const (
 	KindDeadline   = "deadline"
 	KindCanceled   = "canceled"
 	KindPanic      = "panic"
+	KindTransient  = "transient"
 	KindError      = "error"
 )
 
@@ -46,6 +48,8 @@ func classifyErr(err error) string {
 		pe  *exp.PanicError
 	)
 	switch {
+	case faults.IsInjected(err):
+		return KindTransient
 	case errors.As(err, &de):
 		return KindDeadlock
 	case errors.As(err, &ie):
@@ -67,12 +71,29 @@ func classifyErr(err error) string {
 	return KindError
 }
 
-// Event is one SSE payload: a state transition, a batch progress tick, or a
-// timeline sample from the running simulation.
+// retryableKind reports whether a failure of this kind may succeed on a
+// clean re-execution. Injected transients and recovered panics are worker
+// flakiness; deadlocks, invariant violations, cycle/deadline overruns, and
+// cancellations are deterministic properties of the run (or of the caller)
+// and retrying them only burns cycles.
+func retryableKind(kind string) bool {
+	return kind == KindTransient || kind == KindPanic
+}
+
+// Event is one SSE payload: a state transition, a retry notice, a batch
+// progress tick, or a timeline sample from the running simulation. ID is the
+// job-scoped monotonic SSE id; clients resume a dropped stream by replaying
+// everything after their Last-Event-ID.
 type Event struct {
-	Type string // "state", "progress", "sample"
+	ID   uint64
+	Type string // "state", "retry", "progress", "sample"
 	Data any
 }
+
+// eventHistoryCap bounds each job's replay ring. A tiny run emits a handful
+// of state transitions plus its timeline samples; 1024 comfortably covers a
+// reconnect window without letting a sample-heavy run grow without bound.
+const eventHistoryCap = 1024
 
 // Job is one submitted run, keyed by its spec hash. All mutable fields are
 // guarded by mu; subscribers receive Events until the job reaches a terminal
@@ -90,7 +111,10 @@ type Job struct {
 	errKind   string
 	cached    bool // result served from the cache without executing
 	coalesced int64
+	retries   int64
 	subs      map[chan Event]struct{}
+	lastID    uint64  // last SSE event id assigned
+	history   []Event // replay ring for Last-Event-ID resumes
 }
 
 func newJob(id string, sp spec.RunSpec) *Job {
@@ -158,21 +182,58 @@ func (j *Job) fail(kind string, err error) {
 	j.mu.Unlock()
 }
 
-// subscribe registers an event channel and returns it with the job's
-// current view (so the caller can emit a snapshot first without racing a
-// transition) and an unsubscribe func. If the job is already terminal the
-// returned channel is closed immediately: the snapshot is all there is.
-func (j *Job) subscribe() (ch chan Event, snap jobView, cancel func()) {
-	ch = make(chan Event, 64)
+// noteRetry counts one transparent re-execution after a transient failure.
+func (j *Job) noteRetry() {
+	j.mu.Lock()
+	j.retries++
+	j.mu.Unlock()
+}
+
+// subscription is one SSE consumer's attachment to a job: the replay
+// backlog owed to it, its live channel, and the snapshot to open with.
+type subscription struct {
+	// backlog holds already-published events with ID > the subscriber's
+	// Last-Event-ID, replayed before any live event.
+	backlog []Event
+	// ch delivers live events; closed when the job is (or was already)
+	// terminal.
+	ch chan Event
+	// snap is the job view at subscribe time and lastID the newest event
+	// id assigned so far (0 if none).
+	snap   jobView
+	lastID uint64
+	// cancel unsubscribes.
+	cancel func()
+}
+
+// subscribeSince registers an event channel, replaying history after
+// afterID (0 means a fresh attach: no replay, snapshot only). The snapshot
+// and backlog are captured under the same lock acquisition that registers
+// the channel, so a subscriber sees every event exactly once: in the
+// backlog, or live, never both and never neither. If the job is already
+// terminal the channel comes back closed: backlog plus snapshot is all
+// there is.
+func (j *Job) subscribeSince(afterID uint64) subscription {
+	sub := subscription{ch: make(chan Event, 64)}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	snap = j.viewLocked(nil)
-	if j.terminalLocked() {
-		close(ch)
-		return ch, snap, func() {}
+	sub.snap = j.viewLocked(nil)
+	sub.lastID = j.lastID
+	if afterID > 0 {
+		for _, ev := range j.history {
+			if ev.ID > afterID {
+				sub.backlog = append(sub.backlog, ev)
+			}
+		}
 	}
+	if j.terminalLocked() {
+		close(sub.ch)
+		sub.cancel = func() {}
+		return sub
+	}
+	ch := sub.ch
 	j.subs[ch] = struct{}{}
-	return ch, snap, func() {
+	sub.cancel = func() {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if _, ok := j.subs[ch]; ok {
@@ -180,6 +241,7 @@ func (j *Job) subscribe() (ch chan Event, snap jobView, cancel func()) {
 			close(ch)
 		}
 	}
+	return sub
 }
 
 // publish delivers an event to all subscribers, dropping it for any whose
@@ -191,6 +253,15 @@ func (j *Job) publish(ev Event) {
 }
 
 func (j *Job) publishLocked(ev Event) {
+	j.lastID++
+	ev.ID = j.lastID
+	if len(j.history) >= eventHistoryCap {
+		// Drop the oldest half in one copy; reconnects older than the ring
+		// fall back to the snapshot path.
+		keep := j.history[len(j.history)-eventHistoryCap/2:]
+		j.history = append(make([]Event, 0, eventHistoryCap), keep...)
+	}
+	j.history = append(j.history, ev)
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -213,6 +284,7 @@ type jobView struct {
 	State     State           `json:"state"`
 	Cached    bool            `json:"cached"`
 	Coalesced int64           `json:"coalesced,omitempty"`
+	Retries   int64           `json:"retries,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	ErrorKind string          `json:"error_kind,omitempty"`
 	Spec      spec.RunSpec    `json:"spec"`
@@ -229,6 +301,7 @@ func (j *Job) viewLocked(result json.RawMessage) jobView {
 		State:     j.state,
 		Cached:    j.cached,
 		Coalesced: j.coalesced,
+		Retries:   j.retries,
 		Error:     j.errMsg,
 		ErrorKind: j.errKind,
 		Spec:      j.Spec,

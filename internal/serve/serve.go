@@ -25,11 +25,13 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"laperm/internal/exp"
+	"laperm/internal/faults"
 	"laperm/internal/gpu"
 	"laperm/internal/kernels"
 	"laperm/internal/spec"
@@ -86,6 +88,30 @@ type Config struct {
 	// MaxCycles only bounds, it never alters behaviour — so the cap
 	// cannot poison the content-addressed cache. <= 0 means no cap.
 	MaxCycles uint64
+	// RetryLimit bounds transparent server-side re-executions of a job
+	// whose attempt failed with a retryable kind (transient, panic).
+	// 0 means the default of 2; negative disables retries entirely.
+	RetryLimit int
+	// Faults, when non-nil, arms deterministic failure injection across
+	// the service: cache write/read/evict, submit, SSE flush, the
+	// experiment pool's cell site, and the engine's poll/watchdog sites.
+	// Nil (production) keeps every site zero-cost.
+	Faults *faults.Registry
+}
+
+// defaultRetryLimit is the number of transparent re-executions a job gets
+// after retryable failures when Config.RetryLimit is zero.
+const defaultRetryLimit = 2
+
+// retryLimit resolves Config.RetryLimit's encoding.
+func (c Config) retryLimit() int {
+	switch {
+	case c.RetryLimit < 0:
+		return 0
+	case c.RetryLimit == 0:
+		return defaultRetryLimit
+	}
+	return c.RetryLimit
 }
 
 // Server is the lapermd service: handlers, job registry, dispatcher, and
@@ -119,6 +145,8 @@ type Server struct {
 	cacheMisses atomic.Int64
 	jobsDone    atomic.Int64
 	jobsFailed  atomic.Int64
+	retries     atomic.Int64
+	shed        atomic.Int64
 
 	// testBeforeRun, when non-nil, runs after a job transitions to
 	// running and before the simulator starts — a test gate for
@@ -133,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.flts = cfg.Faults
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -202,10 +231,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/artifacts/{id}/{name}", s.handleArtifact)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Liveness: the process is up and serving HTTP. Always 200 — a
+	// draining or saturated server is still alive and must not be killed
+	// by a liveness probe mid-drain.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// Readiness: whether new submissions would be accepted right now.
+	// False (503) while draining or while the launch queue is saturated,
+	// so load balancers steer traffic away before it is shed.
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady implements the readiness probe.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	saturated := len(s.queue) >= cap(s.queue)
+	s.mu.Unlock()
+	switch {
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case saturated:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // errorBody is the JSON error envelope.
@@ -258,6 +311,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.submissions.Add(1)
+	if err := s.cfg.Faults.Hit(faults.SiteSubmit); err != nil {
+		// An injected submit failure models the server dying mid-accept:
+		// answered as a retryable 503 so clients back off and resubmit —
+		// idempotent by construction, since the content hash is the run ID.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
 
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok && j.State() != StateFailed {
@@ -275,16 +336,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, ok := s.cache.Lookup(id); ok {
 		// Complete entry from a previous process (or an evicted job
-		// record): serve it without executing.
-		s.cacheHits.Add(1)
-		j := newCachedJob(id, sp)
-		s.jobs[id] = j
-		s.mu.Unlock()
-		s.respondJob(w, http.StatusOK, j)
-		return
+		// record). Verify before serving: ReadArtifact hashes the result
+		// against the entry's manifest and discards corrupt debris, in
+		// which case this submission falls through to a fresh execution
+		// instead of answering from a poisoned entry.
+		if _, err := s.cache.ReadArtifact(id, ResultArtifact); err == nil {
+			s.cacheHits.Add(1)
+			j := newCachedJob(id, sp)
+			s.jobs[id] = j
+			s.mu.Unlock()
+			s.respondJob(w, http.StatusOK, j)
+			return
+		}
 	}
 	s.cacheMisses.Add(1)
 	if s.draining {
+		// Draining is terminal for this process: 503 with no Retry-After,
+		// distinct from load shedding — clients should go elsewhere.
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not accepting new runs"))
 		return
@@ -293,9 +361,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- j:
 	default:
+		// Load shedding: the queue is momentarily saturated. 429 with
+		// Retry-After tells well-behaved clients to back off and retry
+		// the same (idempotent) submission.
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("serve: launch queue full (%d queued)", s.queued.Load()))
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("serve: launch queue full (%d queued), retry later", s.queued.Load()))
 		return
 	}
 	s.jobs[id] = j
@@ -372,6 +445,15 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := s.cache.ReadArtifact(id, name)
 	if err != nil {
+		// A transient (injected) read failure is retryable; everything
+		// else — no entry, or a corrupt entry that verification just
+		// discarded — is an honest miss the caller resolves by
+		// resubmitting the run.
+		if faults.IsInjected(err) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no artifact %s for run %q", name, id))
 		return
 	}
@@ -380,8 +462,11 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams a job's lifecycle over Server-Sent Events: a "state"
-// snapshot immediately, then state transitions, batch "progress" ticks, and
-// timeline "sample" events until the job reaches a terminal state.
+// snapshot immediately, then state transitions, retry notices, batch
+// "progress" ticks, and timeline "sample" events until the job reaches a
+// terminal state. Every published event carries a job-scoped monotonic
+// `id:`; a client reconnecting with Last-Event-ID replays everything it
+// missed from the job's ring before rejoining the live stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookupJob(id)
@@ -394,33 +479,85 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
 		return
 	}
-	ch, snap, cancel := j.subscribe()
-	defer cancel()
+	var afterID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad Last-Event-ID %q", v))
+			return
+		}
+		afterID = n
+	}
+	sub := j.subscribeSince(afterID)
+	defer sub.cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	writeSSE(w, "state", snap)
-	flusher.Flush()
+	// flush pushes one event; an injected flush fault drops the connection
+	// mid-stream, exactly like a proxy or network tear — the client's
+	// Last-Event-ID resume is the recovery path under test.
+	flush := func(ev Event) bool {
+		if err := s.cfg.Faults.Hit(faults.SiteSSEFlush); err != nil {
+			return false
+		}
+		writeSSE(w, ev)
+		flusher.Flush()
+		return true
+	}
+	// A fresh attach opens with a snapshot. A resume replays the backlog
+	// instead — unless the ring has dropped events past afterID, in which
+	// case a snapshot bridges the gap before the backlog.
+	gap := afterID > 0 && len(sub.backlog) > 0 && sub.backlog[0].ID > afterID+1
+	if afterID == 0 || gap {
+		snapID := sub.lastID
+		if len(sub.backlog) > 0 {
+			snapID = sub.backlog[0].ID - 1
+		}
+		if !flush(Event{ID: snapID, Type: "state", Data: sub.snap}) {
+			return
+		}
+	} else if afterID > 0 && len(sub.backlog) == 0 {
+		// Nothing missed; if the job is already terminal the closed
+		// channel would end the stream with no bytes at all, so restate
+		// the terminal snapshot for the client's benefit.
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				flush(Event{ID: sub.lastID, Type: "state", Data: sub.snap})
+				return
+			}
+			if !flush(ev) { // a live event raced in; deliver it
+				return
+			}
+		default:
+		}
+	}
+	for _, ev := range sub.backlog {
+		if !flush(ev) {
+			return
+		}
+	}
 	for {
 		select {
-		case ev, ok := <-ch:
+		case ev, ok := <-sub.ch:
 			if !ok {
 				return // terminal state delivered; stream complete
 			}
-			writeSSE(w, ev.Type, ev.Data)
-			flusher.Flush()
+			if !flush(ev) {
+				return
+			}
 		case <-r.Context().Done():
 			return
 		}
 	}
 }
 
-func writeSSE(w io.Writer, event string, data any) {
-	payload, err := json.Marshal(data)
+func writeSSE(w io.Writer, ev Event) {
+	payload, err := json.Marshal(ev.Data)
 	if err != nil {
 		payload = []byte(`{"error":"marshal failed"}`)
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, payload)
 }
 
 // metricsView is the /metrics payload.
@@ -433,6 +570,8 @@ type metricsView struct {
 	Running    int64 `json:"running"`
 	JobsDone   int64 `json:"jobs_done"`
 	JobsFailed int64 `json:"jobs_failed"`
+	Retries    int64 `json:"retries"`
+	Shed       int64 `json:"shed"`
 
 	Submissions   int64   `json:"submissions"`
 	Coalesced     int64   `json:"coalesced"`
@@ -458,6 +597,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Running:     s.running.Load(),
 		JobsDone:    s.jobsDone.Load(),
 		JobsFailed:  s.jobsFailed.Load(),
+		Retries:     s.retries.Load(),
+		Shed:        s.shed.Load(),
 		Submissions: s.submissions.Load(),
 		Coalesced:   s.coalesced.Load(),
 		CacheHits:   s.cacheHits.Load(),
@@ -479,7 +620,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // server's base context. It exits when the queue is closed and drained.
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
-	pool := exp.Pool{Workers: s.workers, Meter: s.meter, Progress: s.batchProgress}
+	pool := exp.Pool{Workers: s.workers, Meter: s.meter, Progress: s.batchProgress, Faults: s.cfg.Faults}
 	for {
 		batch, ok := s.nextBatch()
 		if !ok {
@@ -488,19 +629,28 @@ func (s *Server) dispatch() {
 		s.setBatch(batch)
 		// Job failures are recorded on the job, never returned as cell
 		// errors: a failed run must not stop the pool from claiming the
-		// rest of the batch.
-		pool.RunContext(s.baseCtx, len(batch), func(ctx context.Context, i int) error {
+		// rest of the batch. A non-nil pool error is therefore worker
+		// machinery failing (an injected cell fault, or cancellation),
+		// not a job outcome.
+		poolErr := pool.RunContext(s.baseCtx, len(batch), func(ctx context.Context, i int) error {
 			s.runJob(ctx, batch[i])
 			return nil
 		})
 		s.setBatch(nil)
-		// Cells skipped by base-context cancellation never ran; fail
-		// their jobs so no submission waits forever.
+		// Cells the pool never ran — skipped by cancellation, or stranded
+		// when an injected cell fault stopped the batch — still hold
+		// queued jobs; fail them with the real cause so no submission
+		// waits forever and clients can classify (and resubmit
+		// transients).
 		for _, j := range batch {
 			if j.State() == StateQueued {
 				s.queued.Add(-1)
 				s.jobsFailed.Add(1)
-				j.fail(KindCanceled, shutdownCause(s.baseCtx))
+				if poolErr != nil {
+					j.fail(classifyErr(poolErr), poolErr)
+				} else {
+					j.fail(KindCanceled, shutdownCause(s.baseCtx))
+				}
 			}
 		}
 	}
@@ -564,7 +714,10 @@ func shutdownCause(ctx context.Context) error {
 }
 
 // runJob executes one job end to end: state transitions, the simulation
-// itself, artifact writes, and error classification.
+// itself (with bounded transparent retries of retryable failures), artifact
+// writes, and error classification. A panic anywhere in the attempt is
+// contained here — it must not unwind into the pool's cell recovery, which
+// would strand the job in StateRunning forever.
 func (s *Server) runJob(ctx context.Context, j *Job) {
 	s.queued.Add(-1)
 	s.running.Add(1)
@@ -584,23 +737,60 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		jctx, cancel = context.WithTimeout(ctx, s.cfg.JobDeadline)
 		defer cancel()
 	}
-	res, rec, err := s.execute(jctx, j)
-	if err != nil {
+	limit := s.cfg.retryLimit()
+	for attempt := 0; ; attempt++ {
+		err := s.attempt(jctx, j)
+		if err == nil {
+			s.jobsDone.Add(1)
+			j.finish()
+			return
+		}
+		kind := classifyErr(err)
+		if attempt < limit && retryableKind(kind) && jctx.Err() == nil {
+			// Bit-determinism makes retries safe: a clean re-execution of
+			// the same spec produces byte-identical artifacts, so nothing
+			// a failed attempt touched can leak — failures are never
+			// cached, and Put is atomic-per-artifact with the completion
+			// marker last.
+			s.retries.Add(1)
+			j.noteRetry()
+			j.publish(Event{Type: "retry", Data: map[string]any{
+				"attempt": attempt + 1, "kind": kind, "error": err.Error(),
+			}})
+			continue
+		}
 		s.jobsFailed.Add(1)
-		j.fail(classifyErr(err), err)
+		j.fail(kind, err)
 		return
+	}
+}
+
+// attempt is one full execution try: simulate, assemble artifacts, commit
+// to the cache. Panics are recovered into errors here — an injected panic
+// fault surfaces as its structured *faults.InjectedError (so it classifies
+// as transient), anything else as an *exp.PanicError — keeping the worker
+// cell alive and the job owned by this function.
+func (s *Server) attempt(ctx context.Context, j *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ie, ok := r.(*faults.InjectedError); ok {
+				err = ie
+				return
+			}
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &exp.PanicError{Value: r, Stack: buf}
+		}
+	}()
+	res, rec, err := s.execute(ctx, j)
+	if err != nil {
+		return err
 	}
 	arts, err := runArtifacts(j.Spec, res, rec)
-	if err == nil {
-		err = s.cache.Put(j.ID, arts)
-	}
 	if err != nil {
-		s.jobsFailed.Add(1)
-		j.fail(KindError, err)
-		return
+		return err
 	}
-	s.jobsDone.Add(1)
-	j.finish()
+	return s.cache.Put(j.ID, arts)
 }
 
 // execute builds the job's simulator with trace recording attached, runs it
@@ -609,6 +799,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 func (s *Server) execute(ctx context.Context, j *Job) (*gpu.Result, *trace.Recorder, error) {
 	rec := trace.NewRecorder()
 	sim, _, err := j.Spec.BuildWith(func(g *gpu.Options) {
+		g.Faults = s.cfg.Faults
 		if s.cfg.MaxCycles > 0 && (g.MaxCycles == 0 || g.MaxCycles > s.cfg.MaxCycles) {
 			g.MaxCycles = s.cfg.MaxCycles
 		}

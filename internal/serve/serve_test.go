@@ -435,8 +435,10 @@ func TestDrainRejectsNewRuns(t *testing.T) {
 	}
 }
 
-// TestQueueFull: submissions beyond the queue depth are rejected with 503
-// instead of blocking the handler.
+// TestQueueFull: submissions beyond the queue depth are shed with 429 +
+// Retry-After (a transient, retryable condition — distinct from the 503 a
+// draining server answers) instead of blocking the handler, and /readyz
+// reports not-ready while saturated.
 func TestQueueFull(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	ready := make(chan struct{})
@@ -461,8 +463,19 @@ func TestQueueFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("over-capacity submit: status %d, want 503", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	ready2, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready2.Body.Close()
+	if ready2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while saturated: status %d, want 503", ready2.StatusCode)
 	}
 }
 
