@@ -35,6 +35,19 @@ func benchOptions() exp.Options {
 	return exp.Options{Scale: kernels.ScaleTiny, Config: benchConfig(), Workloads: benchWorkloads}
 }
 
+// warmBench builds every workload program once (the builds are memoized and
+// shared, so only the first caller pays) and restarts the benchmark clock.
+// Without this the first iteration carries one-time build costs that later
+// iterations — and the allocation columns — never see again.
+func warmBench(b *testing.B) {
+	b.Helper()
+	for _, w := range laperm.Workloads() {
+		w.Build(laperm.ScaleTiny)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+}
+
 func runCell(b *testing.B, workload string, model gpu.Model, sched string) *gpu.Result {
 	b.Helper()
 	w, ok := kernels.ByName(workload)
@@ -50,6 +63,7 @@ func runCell(b *testing.B, workload string, model gpu.Model, sched string) *gpu.
 
 // BenchmarkTable1_Config builds and validates the Table I configuration.
 func BenchmarkTable1_Config(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := laperm.KeplerK20c()
 		if err := cfg.Validate(); err != nil {
@@ -60,6 +74,7 @@ func BenchmarkTable1_Config(b *testing.B) {
 
 // BenchmarkTable2_Inventory builds every Table II workload program.
 func BenchmarkTable2_Inventory(b *testing.B) {
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		for _, w := range laperm.Workloads() {
 			if k := w.Build(laperm.ScaleTiny); len(k.TBs) == 0 {
@@ -73,6 +88,7 @@ func BenchmarkTable2_Inventory(b *testing.B) {
 // the average parent-child and child-sibling shared-footprint ratios.
 func BenchmarkFig2_SharedFootprint(b *testing.B) {
 	var pc, cs float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		var pcs, css []float64
 		for _, w := range laperm.Workloads() {
@@ -102,6 +118,7 @@ func hitRateDelta(b *testing.B, model gpu.Model, pick func(*gpu.Result) float64)
 // over RR (Figure 7's headline movement), per model.
 func BenchmarkFig7_L2HitRate(b *testing.B) {
 	var cdp, dtbl float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		l2 := func(r *gpu.Result) float64 { return r.L2.HitRate() }
 		cdp = hitRateDelta(b, gpu.CDP, l2)
@@ -115,6 +132,7 @@ func BenchmarkFig7_L2HitRate(b *testing.B) {
 // over RR (Figure 8), per model.
 func BenchmarkFig8_L1HitRate(b *testing.B) {
 	var cdp, dtbl float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		l1 := func(r *gpu.Result) float64 { return r.L1.HitRate() }
 		cdp = hitRateDelta(b, gpu.CDP, l1)
@@ -143,6 +161,7 @@ func ipcSpeedups(b *testing.B, model gpu.Model) map[string]float64 {
 // BenchmarkFig9a_IPC_CDP reports normalised IPC under CDP (Figure 9(a)).
 func BenchmarkFig9a_IPC_CDP(b *testing.B) {
 	var sp map[string]float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		sp = ipcSpeedups(b, gpu.CDP)
 	}
@@ -153,6 +172,7 @@ func BenchmarkFig9a_IPC_CDP(b *testing.B) {
 // BenchmarkFig9b_IPC_DTBL reports normalised IPC under DTBL (Figure 9(b)).
 func BenchmarkFig9b_IPC_DTBL(b *testing.B) {
 	var sp map[string]float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		sp = ipcSpeedups(b, gpu.DTBL)
 	}
@@ -181,6 +201,7 @@ func BenchmarkFigA_LaunchLatency(b *testing.B) {
 		return ab.IPC / rr.IPC
 	}
 	var lo, hi float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		lo = speedupAt(10)
 		hi = speedupAt(20000)
@@ -193,6 +214,7 @@ func BenchmarkFigA_LaunchLatency(b *testing.B) {
 // SMX-Bind vs Adaptive-Bind on the gaussian-skewed join (Section IV-C).
 func BenchmarkFigB_LoadBalance(b *testing.B) {
 	var sb, ab float64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		sb = runCell(b, "join-gaussian", gpu.DTBL, "smx-bind").LoadImbalance
 		ab = runCell(b, "join-gaussian", gpu.DTBL, "adaptive-bind").LoadImbalance
@@ -222,6 +244,7 @@ func BenchmarkFigC_PriorityLevels(b *testing.B) {
 		return res.Cycles
 	}
 	var l1, l4 uint64
+	warmBench(b)
 	for i := 0; i < b.N; i++ {
 		l1 = runAt(1)
 		l4 = runAt(4)

@@ -1,0 +1,121 @@
+// laperm-bench aggregates multi-sample `go test -bench` output into a
+// BENCH_*.json report and gates it against a committed baseline.
+//
+// Produce an artifact:
+//
+//	go test -run '^$' -bench 'Matrix|Clock' -count=5 -benchtime=1x -benchmem ./internal/exp/ | tee bench.txt
+//	go run ./cmd/laperm-bench -in bench.txt -out BENCH_7.json
+//
+// Gate a run against the checked-in baseline (exit status 1 on regression):
+//
+//	go run ./cmd/laperm-bench -in bench.txt -baseline BENCH_7.json
+//
+// Timing tolerance (-ns-tolerance) is relative on the median ns/op and
+// should be generous when the gate runs on different hardware than the
+// baseline; allocation tolerance (-allocs-tolerance) defaults to zero
+// because allocs/op is machine-independent — any increase on a pinned
+// benchmark is a real regression. -require-scaling S additionally demands
+// the Workers1/Workers8 matrix speedup reach S when the run's GOMAXPROCS
+// allows 8 truly parallel workers; on smaller machines the check is
+// reported as skipped, mirroring the -short-skippable scaling test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"laperm/internal/bench"
+)
+
+func main() {
+	var (
+		in             = flag.String("in", "-", "go test -bench output to read ('-' for stdin)")
+		out            = flag.String("out", "", "write the aggregated JSON report to this path")
+		baseline       = flag.String("baseline", "", "baseline JSON report to gate against")
+		nsTol          = flag.Float64("ns-tolerance", 0.10, "relative median ns/op tolerance against the baseline")
+		allocsTol      = flag.Float64("allocs-tolerance", 0, "relative allocs/op tolerance against the baseline")
+		requireScaling = flag.Float64("require-scaling", 0, "minimum MatrixWorkers1/MatrixWorkers8 speedup (0 disables; skipped when GOMAXPROCS < 8)")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	samples, meta, err := bench.ParseGoBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("no benchmark samples in input"))
+	}
+	rep := bench.Aggregate(samples, meta)
+
+	if *out != "" {
+		f, err := os.CreateTemp(".", "bench-*.json")
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(f.Name(), *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d benchmarks, GOMAXPROCS %d\n", *out, len(rep.Benchmarks), rep.GOMAXPROCS)
+	}
+
+	failed := false
+	if *baseline != "" {
+		base, err := bench.ReadReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regs, missing := bench.Compare(base, rep, bench.Tolerances{NsPerOp: *nsTol, AllocsPerOp: *allocsTol})
+		for _, m := range missing {
+			fmt.Printf("note: %s in baseline but not in this run\n", m)
+		}
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+			failed = true
+		}
+		if len(regs) == 0 {
+			fmt.Printf("gate ok: %d benchmarks within tolerance (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+				len(base.Benchmarks)-len(missing), *nsTol*100, *allocsTol*100)
+		}
+	}
+
+	if *requireScaling > 0 {
+		const w1, w8 = "BenchmarkMatrixWorkers1", "BenchmarkMatrixWorkers8"
+		switch s, ok := rep.Speedup(w1, w8); {
+		case !ok:
+			fmt.Printf("note: scaling check skipped (%s/%s not both present)\n", w1, w8)
+		case rep.GOMAXPROCS < 8:
+			fmt.Printf("note: scaling check skipped (GOMAXPROCS %d < 8; measured %.2fx)\n", rep.GOMAXPROCS, s)
+		case s < *requireScaling:
+			fmt.Printf("REGRESSION scaling: Workers1/Workers8 speedup %.2fx below the %.1fx floor\n", s, *requireScaling)
+			failed = true
+		default:
+			fmt.Printf("scaling ok: %.2fx at 8 workers (floor %.1fx)\n", s, *requireScaling)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laperm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,280 @@
+// Package bench is the multi-sample benchmark harness behind BENCH_*.json
+// and the CI regression gate. It parses `go test -bench` output (run with
+// -count=N for several samples per benchmark), aggregates each benchmark's
+// ns/op distribution into min/median/max alongside its bytes/op and
+// allocs/op, and compares a report against a committed baseline with
+// separate tolerances for timing (machine-dependent, generous across
+// hardware) and allocations (machine-independent, zero tolerance by
+// default). Earlier BENCH_*.json artifacts were single-iteration,
+// single-sample dumps — noise presented as numbers; this package replaces
+// them (DESIGN.md §12).
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report format.
+const Schema = "laperm-bench/1"
+
+// Sample is one benchmark measurement line of `go test -bench` output.
+type Sample struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix removed.
+	Name string
+	// Iterations is the b.N the sample ran.
+	Iterations int64
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64
+	// BytesPerOp / AllocsPerOp are the -benchmem columns; -1 when the
+	// sample carried no memory columns.
+	BytesPerOp  int64
+	AllocsPerOp int64
+}
+
+// Meta is the run environment parsed from the output header.
+type Meta struct {
+	GoOS, GoArch, Pkg, CPU string
+	// GOMAXPROCS is the benchmark-name suffix (-N); 1 when absent.
+	GOMAXPROCS int
+}
+
+// ParseGoBench reads `go test -bench` output and returns every benchmark
+// sample in order, plus the run metadata.
+func ParseGoBench(r io.Reader) ([]Sample, Meta, error) {
+	meta := Meta{GOMAXPROCS: 1}
+	var samples []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			meta.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			meta.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			meta.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			meta.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			continue
+		}
+		s := Sample{BytesPerOp: -1, AllocsPerOp: -1}
+		s.Name = f[0]
+		if i := strings.LastIndex(s.Name, "-"); i > 0 {
+			if procs, err := strconv.Atoi(s.Name[i+1:]); err == nil {
+				s.Name = s.Name[:i]
+				meta.GOMAXPROCS = procs
+			}
+		}
+		var err error
+		if s.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			return nil, meta, fmt.Errorf("bench: bad iteration count in %q: %w", line, err)
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, meta, fmt.Errorf("bench: bad value in %q: %w", line, err)
+			}
+			switch f[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+			case "B/op":
+				s.BytesPerOp = int64(v)
+			case "allocs/op":
+				s.AllocsPerOp = int64(v)
+			}
+		}
+		if s.NsPerOp == 0 {
+			return nil, meta, fmt.Errorf("bench: no ns/op column in %q", line)
+		}
+		samples = append(samples, s)
+	}
+	return samples, meta, sc.Err()
+}
+
+// Stats is a min/median/max summary of one metric across samples.
+type Stats struct {
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Max    float64 `json:"max"`
+}
+
+// statsOf summarizes vs (which must be non-empty).
+func statsOf(vs []float64) Stats {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	med := sorted[n/2]
+	if n%2 == 0 {
+		med = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return Stats{Min: sorted[0], Median: med, Max: sorted[n-1]}
+}
+
+// Benchmark is one benchmark's aggregate across its samples.
+type Benchmark struct {
+	Name string `json:"name"`
+	// Samples is how many -count repetitions contributed.
+	Samples int `json:"samples"`
+	// Iterations is the smallest b.N among the samples.
+	Iterations int64 `json:"iterations"`
+	NsPerOp    Stats `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are the maxima across samples (the
+	// conservative side for a regression gate); -1 without -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is the aggregated benchmark artifact serialized to BENCH_*.json.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Aggregate folds samples into a Report, preserving first-seen benchmark
+// order.
+func Aggregate(samples []Sample, meta Meta) *Report {
+	rep := &Report{Schema: Schema, GoOS: meta.GoOS, GoArch: meta.GoArch, CPU: meta.CPU, GOMAXPROCS: meta.GOMAXPROCS}
+	index := map[string]int{}
+	grouped := map[string][]Sample{}
+	for _, s := range samples {
+		if _, seen := index[s.Name]; !seen {
+			index[s.Name] = len(rep.Benchmarks)
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: s.Name})
+		}
+		grouped[s.Name] = append(grouped[s.Name], s)
+	}
+	for name, group := range grouped {
+		b := &rep.Benchmarks[index[name]]
+		b.Samples = len(group)
+		b.Iterations = group[0].Iterations
+		b.BytesPerOp, b.AllocsPerOp = -1, -1
+		ns := make([]float64, len(group))
+		for i, s := range group {
+			ns[i] = s.NsPerOp
+			if s.Iterations < b.Iterations {
+				b.Iterations = s.Iterations
+			}
+			if s.BytesPerOp > b.BytesPerOp {
+				b.BytesPerOp = s.BytesPerOp
+			}
+			if s.AllocsPerOp > b.AllocsPerOp {
+				b.AllocsPerOp = s.AllocsPerOp
+			}
+		}
+		b.NsPerOp = statsOf(ns)
+	}
+	return rep
+}
+
+// ReadReport loads a Report from path.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteJSON serializes the report, indented, with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Lookup returns the named benchmark's aggregate.
+func (r *Report) Lookup(name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Benchmark string
+	Metric    string // "ns/op" or "allocs/op"
+	Base, Cur float64
+	// Limit is the threshold the current value exceeded.
+	Limit float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.0f -> %.0f (limit %.0f)", r.Benchmark, r.Metric, r.Base, r.Cur, r.Limit)
+}
+
+// Tolerances configures Compare. NsPerOp is relative (0.10 = +10% on the
+// median); AllocsPerOp is relative too but defaults to zero — allocation
+// counts are machine-independent, so any increase on a pinned benchmark is a
+// real regression regardless of the hardware the gate runs on.
+type Tolerances struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// Compare gates cur against base: every benchmark present in both reports
+// must hold its median ns/op within the timing tolerance and its allocs/op
+// within the allocation tolerance. Benchmarks only in one report are
+// returned in missing (informational — partial runs gate what they ran).
+func Compare(base, cur *Report, tol Tolerances) (regressions []Regression, missing []string) {
+	for _, bb := range base.Benchmarks {
+		cb, ok := cur.Lookup(bb.Name)
+		if !ok {
+			missing = append(missing, bb.Name)
+			continue
+		}
+		if limit := bb.NsPerOp.Median * (1 + tol.NsPerOp); cb.NsPerOp.Median > limit {
+			regressions = append(regressions, Regression{
+				Benchmark: bb.Name, Metric: "ns/op",
+				Base: bb.NsPerOp.Median, Cur: cb.NsPerOp.Median, Limit: limit,
+			})
+		}
+		if bb.AllocsPerOp >= 0 && cb.AllocsPerOp >= 0 {
+			if limit := float64(bb.AllocsPerOp) * (1 + tol.AllocsPerOp); float64(cb.AllocsPerOp) > limit {
+				regressions = append(regressions, Regression{
+					Benchmark: bb.Name, Metric: "allocs/op",
+					Base: float64(bb.AllocsPerOp), Cur: float64(cb.AllocsPerOp), Limit: limit,
+				})
+			}
+		}
+	}
+	return regressions, missing
+}
+
+// Speedup returns the median-ns/op ratio base/target — e.g. the 1-worker to
+// 8-worker matrix speedup — and false when either benchmark is absent.
+func (r *Report) Speedup(baseName, targetName string) (float64, bool) {
+	b, okB := r.Lookup(baseName)
+	t, okT := r.Lookup(targetName)
+	if !okB || !okT || t.NsPerOp.Median == 0 {
+		return 0, false
+	}
+	return b.NsPerOp.Median / t.NsPerOp.Median, true
+}

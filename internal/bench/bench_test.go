@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goBenchOutput is real-shaped `go test -bench -count=3 -benchmem` output:
+// header lines, interleaved samples, a sub-benchmark, a benchmark without
+// memory columns, and a PASS trailer.
+const goBenchOutput = `goos: linux
+goarch: amd64
+pkg: laperm/internal/exp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMatrixWorkers1-8   	       2	  91406342 ns/op	 2516020 B/op	    7691 allocs/op
+BenchmarkMatrixWorkers1-8   	       2	  90000000 ns/op	 2500000 B/op	    7690 allocs/op
+BenchmarkMatrixWorkers1-8   	       2	  95000000 ns/op	 2550000 B/op	    7695 allocs/op
+BenchmarkMatrixWorkers8-8   	       2	  30000000 ns/op	 2516020 B/op	    7691 allocs/op
+BenchmarkMatrixWorkers8-8   	       2	  28000000 ns/op	 2500000 B/op	    7690 allocs/op
+BenchmarkMatrixWorkers8-8   	       2	  29000000 ns/op	 2500000 B/op	    7690 allocs/op
+BenchmarkRunOneCells/rr-8   	       2	   9648977 ns/op	   80764 B/op	     216 allocs/op
+BenchmarkNoMem              	     100	     12345 ns/op
+PASS
+ok  	laperm/internal/exp	10.000s
+`
+
+func parseGolden(t *testing.T) (*Report, Meta) {
+	t.Helper()
+	samples, meta, err := ParseGoBench(strings.NewReader(goBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Aggregate(samples, meta), meta
+}
+
+func TestParseGoBench(t *testing.T) {
+	samples, meta, err := ParseGoBench(strings.NewReader(goBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("parsed %d samples, want 8", len(samples))
+	}
+	if meta.GoOS != "linux" || meta.GoArch != "amd64" || meta.GOMAXPROCS != 8 {
+		t.Errorf("meta = %+v, want linux/amd64 with GOMAXPROCS 8", meta)
+	}
+	if !strings.Contains(meta.CPU, "Xeon") {
+		t.Errorf("CPU = %q, want the header's cpu line", meta.CPU)
+	}
+	first := samples[0]
+	if first.Name != "BenchmarkMatrixWorkers1" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.NsPerOp != 91406342 || first.BytesPerOp != 2516020 || first.AllocsPerOp != 7691 {
+		t.Errorf("first sample misparsed: %+v", first)
+	}
+	sub := samples[6]
+	if sub.Name != "BenchmarkRunOneCells/rr" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+	nomem := samples[7]
+	if nomem.Name != "BenchmarkNoMem" || nomem.BytesPerOp != -1 || nomem.AllocsPerOp != -1 {
+		t.Errorf("memory-less sample misparsed: %+v", nomem)
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	rep, _ := parseGolden(t)
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("aggregated %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	w1, ok := rep.Lookup("BenchmarkMatrixWorkers1")
+	if !ok {
+		t.Fatal("BenchmarkMatrixWorkers1 missing")
+	}
+	if w1.Samples != 3 {
+		t.Errorf("samples = %d, want 3", w1.Samples)
+	}
+	want := Stats{Min: 90000000, Median: 91406342, Max: 95000000}
+	if w1.NsPerOp != want {
+		t.Errorf("ns/op stats = %+v, want %+v", w1.NsPerOp, want)
+	}
+	// Memory columns aggregate to the conservative maximum.
+	if w1.AllocsPerOp != 7695 || w1.BytesPerOp != 2550000 {
+		t.Errorf("allocs/bytes = %d/%d, want max across samples 7695/2550000", w1.AllocsPerOp, w1.BytesPerOp)
+	}
+}
+
+func TestEvenSampleMedian(t *testing.T) {
+	s := statsOf([]float64{10, 20, 30, 40})
+	if s.Median != 25 {
+		t.Errorf("even-count median = %v, want 25", s.Median)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, _ := parseGolden(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, &back) {
+		t.Errorf("round trip changed the report:\n%+v\n%+v", rep, &back)
+	}
+	if back.Schema != Schema {
+		t.Errorf("schema = %q, want %q", back.Schema, Schema)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base, _ := parseGolden(t)
+	tol := Tolerances{NsPerOp: 0.10}
+
+	t.Run("identical-passes", func(t *testing.T) {
+		regs, missing := Compare(base, base, tol)
+		if len(regs) != 0 || len(missing) != 0 {
+			t.Errorf("self-compare: regressions %v, missing %v", regs, missing)
+		}
+	})
+
+	t.Run("ns-within-tolerance-passes", func(t *testing.T) {
+		cur := cloneReport(t, base)
+		bump(t, cur, "BenchmarkMatrixWorkers1", func(b *Benchmark) {
+			b.NsPerOp.Median *= 1.05
+		})
+		if regs, _ := Compare(base, cur, tol); len(regs) != 0 {
+			t.Errorf("+5%% ns/op inside the 10%% tolerance flagged: %v", regs)
+		}
+	})
+
+	t.Run("ns-regression-fails", func(t *testing.T) {
+		cur := cloneReport(t, base)
+		bump(t, cur, "BenchmarkMatrixWorkers1", func(b *Benchmark) {
+			b.NsPerOp.Median *= 1.25
+		})
+		regs, _ := Compare(base, cur, tol)
+		if len(regs) != 1 || regs[0].Metric != "ns/op" {
+			t.Fatalf("+25%% ns/op not flagged: %v", regs)
+		}
+	})
+
+	t.Run("any-alloc-increase-fails", func(t *testing.T) {
+		cur := cloneReport(t, base)
+		bump(t, cur, "BenchmarkMatrixWorkers8", func(b *Benchmark) {
+			b.AllocsPerOp++
+		})
+		regs, _ := Compare(base, cur, tol)
+		if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+			t.Fatalf("+1 alloc/op not flagged with zero allocation tolerance: %v", regs)
+		}
+	})
+
+	t.Run("missing-is-reported-not-failed", func(t *testing.T) {
+		cur := cloneReport(t, base)
+		cur.Benchmarks = cur.Benchmarks[:1]
+		regs, missing := Compare(base, cur, tol)
+		if len(regs) != 0 {
+			t.Errorf("missing benchmarks produced regressions: %v", regs)
+		}
+		if len(missing) != 3 {
+			t.Errorf("missing = %v, want the 3 absent benchmarks", missing)
+		}
+	})
+}
+
+func TestSpeedup(t *testing.T) {
+	rep, _ := parseGolden(t)
+	s, ok := rep.Speedup("BenchmarkMatrixWorkers1", "BenchmarkMatrixWorkers8")
+	if !ok {
+		t.Fatal("speedup pair not found")
+	}
+	if s < 3.1 || s > 3.2 { // 91406342 / 29000000 = 3.152
+		t.Errorf("speedup = %.3f, want ~3.15", s)
+	}
+	if _, ok := rep.Speedup("BenchmarkMatrixWorkers1", "BenchmarkAbsent"); ok {
+		t.Error("speedup against an absent benchmark reported ok")
+	}
+}
+
+func cloneReport(t *testing.T, r *Report) *Report {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Report
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+func bump(t *testing.T, r *Report, name string, f func(*Benchmark)) {
+	t.Helper()
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			f(&r.Benchmarks[i])
+			return
+		}
+	}
+	t.Fatalf("%s not in report", name)
+}

@@ -1,0 +1,58 @@
+package exp
+
+// Whole-cell allocation budgets: one explicit number per benchmarked
+// workload, covering simulator construction, the complete run (including the
+// device-launch path the micro pins in internal/gpu cannot see), and result
+// assembly, across both launch models and all four schedulers. The steady
+// state is zero-alloc (pinned in gpu/smx/mem), so a cell's total is its
+// fixed setup cost — measured at 211–274 allocations per cell. The budgets
+// leave ~50% headroom for benign construction changes; a single stray
+// allocation on a per-cycle path adds tens of thousands and fails
+// immediately. Raising a budget is an explicit, reviewed edit to this table.
+
+import (
+	"testing"
+
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+)
+
+var cellAllocBudgets = []struct {
+	workload string
+	budget   float64
+}{
+	{"bfs-citation", 400},
+	{"join-uniform", 400},
+	{"amr", 400},
+	{"bht", 400},
+}
+
+func TestCellAllocationBudgets(t *testing.T) {
+	o := fastOptions()
+	for _, tc := range cellAllocBudgets {
+		t.Run(tc.workload, func(t *testing.T) {
+			w, err := kernels.Lookup(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Build(o.Scale) // warm the program and graph-input memos
+			for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+				for _, sched := range SchedulerNames {
+					var runErr error
+					allocs := testing.AllocsPerRun(2, func() {
+						if _, err := RunOne(w, model, sched, o); err != nil {
+							runErr = err
+						}
+					})
+					if runErr != nil {
+						t.Fatal(runErr)
+					}
+					if allocs > tc.budget {
+						t.Errorf("%s/%s/%s: %.0f allocs per cell, budget %.0f",
+							tc.workload, model, sched, allocs, tc.budget)
+					}
+				}
+			}
+		})
+	}
+}

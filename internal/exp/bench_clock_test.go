@@ -32,6 +32,7 @@ func benchClock(b *testing.B, model gpu.Model, dense bool) {
 		ws[i] = w
 		w.Build(o.Scale) // warm the memoized graph inputs
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, w := range ws {

@@ -1,0 +1,90 @@
+package exp
+
+// The pool-scaling regression test: the PR 2 worker pool once showed a flat
+// 1→8 worker curve (BENCH_4.json: ~110 ms at every worker count) because
+// per-cell program rebuilds and per-cycle allocation churn made the garbage
+// collector the cross-worker serializer. With memoized programs and the
+// zero-alloc core that bottleneck is gone; this test keeps it gone by
+// asserting real wall-clock speedup at 8 workers — alongside the existing
+// guarantee that parallel output is identical to serial, so the speedup is
+// never bought with nondeterminism.
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// minScalingSpeedup is the wall-clock factor an 8-worker matrix sweep must
+// achieve over the serial sweep on a machine with at least 8 schedulable
+// CPUs. The 32 cells are near-uniform in cost, so an unserialised pool
+// clears 3x comfortably; the GC-bound regression this guards against
+// plateaued at ~1x.
+const minScalingSpeedup = 3.0
+
+func TestPoolScalingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock scaling measurement skipped in -short mode")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 8 {
+		t.Skipf("GOMAXPROCS = %d < 8: 8-worker wall-clock speedup is not measurable on this machine", p)
+	}
+
+	o := fastOptions("bfs-citation", "join-uniform", "amr", "bht")
+	o.Workers = 1
+	// Warm every memoized program and input so neither timed sweep pays
+	// one-time build costs.
+	warm, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Best-of-3 timings tolerate scheduler noise without averaging it in.
+	best := func(workers int) (time.Duration, *Matrix) {
+		opt := o
+		opt.Workers = workers
+		var (
+			bestD time.Duration
+			m     *Matrix
+		)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			got, err := RunMatrix(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); m == nil || d < bestD {
+				bestD, m = d, got
+			}
+		}
+		return bestD, m
+	}
+
+	serialD, serialM := best(1)
+	parallelD, parallelM := best(8)
+
+	// The determinism contract first: byte-identical results and CSV at
+	// any worker count. A speedup that breaks this is a bug, not a win.
+	if !reflect.DeepEqual(warm, serialM) || !reflect.DeepEqual(serialM, parallelM) {
+		t.Fatal("matrix results differ across runs/worker counts")
+	}
+	var serialCSV, parallelCSV bytes.Buffer
+	if err := WriteMatrixCSV(serialM, &serialCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatrixCSV(parallelM, &parallelCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialCSV.Bytes(), parallelCSV.Bytes()) {
+		t.Fatal("matrix CSV bytes differ between 1 and 8 workers")
+	}
+
+	speedup := float64(serialD) / float64(parallelD)
+	t.Logf("serial %v, 8 workers %v: speedup %.2fx", serialD, parallelD, speedup)
+	if speedup < minScalingSpeedup {
+		t.Errorf("8-worker speedup %.2fx below the %.1fx floor (serial %v, parallel %v): the worker pool is serialized again",
+			speedup, minScalingSpeedup, serialD, parallelD)
+	}
+}

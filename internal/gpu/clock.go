@@ -252,7 +252,8 @@ func (s *Simulator) schedQuiesced() bool {
 // resources — invalidating the nil-Select streak.
 func (s *Simulator) dirtySched() { s.nilStreak = 0 }
 
-// phases returns the engine's phase list in dense-loop order.
+// phases builds the engine's phase list in dense-loop order. New calls it
+// once (into phaseList) so the per-run path allocates nothing for phases.
 func (s *Simulator) phases() []Clocked {
 	return []Clocked{
 		arrivalsPhase{s},

@@ -321,8 +321,31 @@ type Simulator struct {
 	// flts is the armed failpoint registry (nil = disarmed, zero-cost).
 	flts *faults.Registry
 
+	// kiArena is the current KernelInstance allocation chunk. Launches
+	// draw instance records from chunked slabs — one allocation per
+	// kiChunkSize launches instead of one per launch — and the slabs are
+	// never recycled: instances live to the end of the run (Kernels()
+	// exposes them), so pointers into a chunk stay valid forever.
+	kiArena []KernelInstance
+
+	// phaseList is the engine's phase decomposition, built once in New;
+	// RunContext iterates it every processed cycle.
+	phaseList []Clocked
+
 	hostPending []*isa.Kernel
 	ran         bool
+}
+
+// kiChunkSize is the KernelInstance arena chunk length.
+const kiChunkSize = 256
+
+// newInstance carves one zeroed KernelInstance from the arena.
+func (s *Simulator) newInstance() *KernelInstance {
+	if len(s.kiArena) == cap(s.kiArena) {
+		s.kiArena = make([]KernelInstance, 0, kiChunkSize)
+	}
+	s.kiArena = append(s.kiArena, KernelInstance{})
+	return &s.kiArena[len(s.kiArena)-1]
 }
 
 // New builds a simulator. It returns an error on a missing or invalid
@@ -378,6 +401,7 @@ func New(opts Options) (*Simulator, error) {
 	for i := range s.smxs {
 		s.smxs[i] = smx.New(i, opts.Config, s.memsys, s, opts.WarpPolicy, &s.seq)
 	}
+	s.phaseList = s.phases()
 	return s, nil
 }
 
@@ -445,16 +469,15 @@ func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint6
 	if viaAgg {
 		latency = s.cfg.DTBLLaunchLatency
 	}
-	ki := &KernelInstance{
-		ID:          s.nextID,
-		Prog:        child,
-		Priority:    prio,
-		BoundSMX:    smxID,
-		Parent:      parent,
-		LaunchCycle: now,
-		ArriveCycle: now + uint64(latency),
-		viaKMU:      !viaAgg,
-	}
+	ki := s.newInstance()
+	ki.ID = s.nextID
+	ki.Prog = child
+	ki.Priority = prio
+	ki.BoundSMX = smxID
+	ki.Parent = parent
+	ki.LaunchCycle = now
+	ki.ArriveCycle = now + uint64(latency)
+	ki.viaKMU = !viaAgg
 	if viaAgg {
 		ki.poolAgg = true
 		s.aggUsed++
@@ -757,7 +780,8 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	s.started = time.Now()
 	// Host kernels materialise as instances at cycle 0.
 	for _, k := range s.hostPending {
-		ki := &KernelInstance{ID: s.nextID, Prog: k, BoundSMX: -1, viaKMU: true}
+		ki := s.newInstance()
+		ki.ID, ki.Prog, ki.BoundSMX, ki.viaKMU = s.nextID, k, -1, true
 		s.nextID++
 		s.live++
 		s.kernels = append(s.kernels, ki)
@@ -771,7 +795,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		return nil, &CanceledError{Cycle: s.now, Live: s.live, Cause: context.Cause(ctx)}
 	}
 
-	phases := s.phases()
+	phases := s.phaseList
 	var iter uint64
 	for s.now < s.maxCycles {
 		if iter++; iter&ctxCheckMask == 0 {

@@ -237,7 +237,16 @@ func (k *Kernel) Validate() error {
 // coalescer does for a warp memory instruction. A warp has at most 32
 // lanes, so the dedup is a linear scan rather than a map.
 func Coalesce(addrs []uint64) []uint64 {
-	lines := make([]uint64, 0, 4)
+	return CoalesceInto(make([]uint64, 0, 4), addrs)
+}
+
+// CoalesceInto is Coalesce appending into dst's backing array, for callers
+// on the per-cycle path that keep a reusable scratch buffer (the SMX warp
+// state does; see internal/smx). dst is truncated first. A warp instruction
+// touches at most config.WarpSize distinct lines (Validate bounds the lane
+// count), so a caller-owned buffer with capacity WarpSize never reallocates.
+func CoalesceInto(dst, addrs []uint64) []uint64 {
+	lines := dst[:0]
 next:
 	for _, a := range addrs {
 		l := a / config.LineSize * config.LineSize

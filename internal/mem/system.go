@@ -117,7 +117,15 @@ func NewSystem(cfg *config.GPU) *System {
 	}
 	for i := range s.l1 {
 		s.l1[i] = NewCache(cfg.L1Sets(), cfg.L1Assoc)
-		s.mshr[i] = &mshrTable{cap: cfg.L1MSHRs, nextExpire: noExpiry, lastAdd: noExpiry}
+		// The entry slice is preallocated to the table's capacity: add
+		// never runs past it (full gates admission), and prune reuses
+		// the backing array, so the MSHR path never allocates again.
+		s.mshr[i] = &mshrTable{
+			entries:    make([]mshrEntry, 0, cfg.L1MSHRs),
+			cap:        cfg.L1MSHRs,
+			nextExpire: noExpiry,
+			lastAdd:    noExpiry,
+		}
 	}
 	for i := range s.l2 {
 		s.l2[i] = NewCache(cfg.L2SetsPerBank(), cfg.L2Assoc)

@@ -57,7 +57,9 @@ type Events interface {
 	// stalled launch.
 	Launch(smxID int, b *Block, child *isa.Kernel, now uint64, retry bool) bool
 	// BlockDone is invoked when every warp of a resident block has
-	// retired and its resources have been freed.
+	// retired and its resources have been freed. The Block record may be
+	// recycled for a later dispatch once the callback returns, so
+	// implementations must copy out any fields they need to keep.
 	BlockDone(smxID int, b *Block, now uint64)
 }
 
@@ -95,7 +97,11 @@ type warp struct {
 	readyAt uint64
 	// pending holds coalesced line addresses of the current memory
 	// instruction not yet accepted by the memory system (MSHR stalls).
+	// It always aliases lineBuf — a warp instruction coalesces to at most
+	// WarpSize lines — so issuing memory instructions never allocates.
 	pending []uint64
+	// lineBuf is the warp-owned coalescer scratch buffer backing pending.
+	lineBuf [config.WarpSize]uint64
 	// pendingMax is the latest completion cycle among the transactions
 	// already issued for the current memory instruction.
 	pendingMax uint64
@@ -185,6 +191,14 @@ type SMX struct {
 	// that some other component pinned.
 	horizon   uint64
 	horizonAt uint64
+	// freeBlocks / freeWarps recycle retired Block and warp records so
+	// steady-state dispatch allocates nothing: sweep pushes a dead block's
+	// records here and AddBlockAttr pops (and fully reinitializes) them.
+	// Pool sizes are bounded by the SMX's peak residency. A retired Block
+	// keeps its fields until the memory is reused by a later dispatch, so
+	// a BlockDone observer must copy out anything it needs to keep.
+	freeBlocks []*Block
+	freeWarps  []*warp
 }
 
 // New builds an SMX. nextSeq is a shared dispatch-sequence counter owned by
@@ -221,14 +235,16 @@ func (s *SMX) AddBlockAttr(tb *isa.TB, owner any, tbIndex int, tag mem.Accessor,
 		s.nextReady = now
 	}
 	s.horizon = 0 // new warps can issue this very cycle
-	b := &Block{Prog: tb, Owner: owner, Seq: *s.nextSeq, DispatchCycle: now, TBIndex: tbIndex, Tag: tag}
+	b := s.newBlock()
+	b.Prog, b.Owner, b.Seq, b.DispatchCycle, b.TBIndex, b.Tag = tb, owner, *s.nextSeq, now, tbIndex, tag
 	*s.nextSeq++
 	s.usedThreads += tb.Threads
 	s.usedRegs += tb.Registers()
 	s.usedShmem += tb.SharedMemBytes
 	s.blocks = append(s.blocks, b)
 	for i := 0; i < tb.NumWarps(); i++ {
-		w := &warp{block: b, idx: i, readyAt: now}
+		w := s.newWarp()
+		w.block, w.idx, w.readyAt = b, i, now
 		if len(w.stream()) == 0 {
 			w.done = true
 			b.doneWarps++
@@ -490,7 +506,7 @@ func (s *SMX) issue(w *warp, now uint64) bool {
 func (s *SMX) issueMem(w *warp, in *isa.Inst, now uint64) bool {
 	wasStalled := in == nil // resuming implies a prior MSHR rejection
 	if in != nil {
-		w.pending = isa.Coalesce(in.Addrs)
+		w.pending = isa.CoalesceInto(w.lineBuf[:0], in.Addrs)
 		w.pendingMax = 0
 	} else {
 		in = &w.stream()[w.pc]
@@ -662,23 +678,63 @@ func (s *SMX) CheckInvariants() error {
 	return nil
 }
 
-// sweep removes dead blocks and their warps from the issue lists.
+// newBlock pops a recycled Block record or allocates a fresh one. All
+// engine-owned fields are reset here; the caller assigns the rest.
+func (s *SMX) newBlock() *Block {
+	if n := len(s.freeBlocks); n > 0 {
+		b := s.freeBlocks[n-1]
+		s.freeBlocks[n-1] = nil
+		s.freeBlocks = s.freeBlocks[:n-1]
+		b.warps = b.warps[:0]
+		b.arrived, b.doneWarps, b.retireAt, b.dead = 0, 0, 0, false
+		return b
+	}
+	return &Block{}
+}
+
+// newWarp pops a recycled warp record or allocates a fresh one. All fields
+// except the caller-assigned identity (block, idx, readyAt) are reset here.
+func (s *SMX) newWarp() *warp {
+	if n := len(s.freeWarps); n > 0 {
+		w := s.freeWarps[n-1]
+		s.freeWarps[n-1] = nil
+		s.freeWarps = s.freeWarps[:n-1]
+		w.pc, w.pending, w.pendingMax = 0, nil, 0
+		w.atBarrier, w.done, w.launchStalled = false, false, false
+		return w
+	}
+	return &warp{}
+}
+
+// sweep removes dead blocks and their warps from the issue lists and
+// recycles their records onto the free pools for the next dispatch.
 func (s *SMX) sweep() {
 	s.needSweep = false
-	blocks := s.blocks[:0]
-	for _, b := range s.blocks {
-		if !b.dead {
-			blocks = append(blocks, b)
-		}
-	}
-	s.blocks = blocks
 	warps := s.warps[:0]
 	for _, w := range s.warps {
 		if !w.block.dead {
 			warps = append(warps, w)
 		}
 	}
+	for i := len(warps); i < len(s.warps); i++ {
+		s.warps[i] = nil
+	}
 	s.warps = warps
+	blocks := s.blocks[:0]
+	for _, b := range s.blocks {
+		if !b.dead {
+			blocks = append(blocks, b)
+			continue
+		}
+		// The warps were just dropped from the issue list; the block's own
+		// warp list keeps them reachable for recycling.
+		s.freeWarps = append(s.freeWarps, b.warps...)
+		s.freeBlocks = append(s.freeBlocks, b)
+	}
+	for i := len(blocks); i < len(s.blocks); i++ {
+		s.blocks[i] = nil
+	}
+	s.blocks = blocks
 	if s.greedy != nil && s.greedy.block.dead {
 		s.greedy = nil
 	}
