@@ -7,8 +7,10 @@
 //	curl -s -X POST localhost:8077/v1/runs -d '{"workload":"bfs-citation","scale":"tiny"}'
 //	curl -s localhost:8077/v1/runs/<id>
 //	curl -s localhost:8077/v1/runs/<id>/events        # SSE progress stream
+//	curl -s localhost:8077/v1/runs/<id>/trace         # per-job Perfetto trace
 //	curl -s localhost:8077/v1/artifacts/<id>/trace.perfetto.json
-//	curl -s localhost:8077/metrics
+//	curl -s localhost:8077/metrics                    # Prometheus text
+//	curl -s localhost:8077/metrics.json               # JSON view
 //
 // The run ID is the SHA-256 of the spec's canonical form: identical
 // submissions coalesce while in flight and are answered from the cache once
@@ -16,13 +18,18 @@
 // byte-identical to a fresh run's. SIGINT/SIGTERM drain gracefully: new runs
 // get 503, queued and running jobs finish (up to -drain-timeout), then the
 // listener shuts down.
+//
+// Logs are structured (log/slog): one Info line per job lifecycle
+// transition, Debug access lines with -log-level debug, and -log-format
+// json for machine ingestion. -debug-addr starts a separate pprof listener
+// (off by default; never mounted on the service address).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -30,11 +37,30 @@ import (
 	"time"
 
 	"laperm/internal/faults"
+	"laperm/internal/prof"
 	"laperm/internal/serve"
 )
 
+// newLogger builds the process logger from the -log-format / -log-level
+// flags, writing to stderr so service logs never mix with piped output.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, errors.New(`must be "text" or "json"`)
+}
+
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for /debug/pprof/ (empty = disabled)")
 	cacheDir := flag.String("cache-dir", "lapermd-cache", "content-addressed result cache directory")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache byte budget, LRU-evicted (0 = unlimited)")
 	workers := flag.Int("workers", 0, "max concurrently executing runs (0 = GOMAXPROCS)")
@@ -43,9 +69,21 @@ func main() {
 	maxCycles := flag.Uint64("max-cycles", 0, "per-run simulated-cycle cap (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight runs are canceled")
 	retryLimit := flag.Int("retry-limit", 0, "transient-failure retries per run before it fails (0 = default 2, negative = disabled)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	faultSpec := flag.String("faults", "", "fault-injection schedule, e.g. 'serve.cache.write=error:p=0.5:n=2' (default: $"+faults.EnvVar+")")
 	faultSeed := flag.Uint64("faults-seed", 0, "deterministic seed for -faults draws (default: $"+faults.EnvSeedVar+", else 1)")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		slog.Error("bad logging flags", "error", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
 
 	var reg *faults.Registry
 	if *faultSpec != "" {
@@ -55,18 +93,18 @@ func main() {
 		}
 		r, err := faults.Parse(*faultSpec, seed)
 		if err != nil {
-			log.Fatalf("-faults: %v", err)
+			fatal("-faults", err)
 		}
 		reg = r
 	} else {
 		r, err := faults.FromEnv()
 		if err != nil {
-			log.Fatalf("%s: %v", faults.EnvVar, err)
+			fatal(faults.EnvVar, err)
 		}
 		reg = r
 	}
 	if reg != nil {
-		log.Printf("fault injection armed: %s (seed %d)", reg.Spec(), reg.Seed())
+		logger.Info("fault injection armed", "spec", reg.Spec(), "seed", reg.Seed())
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -78,9 +116,10 @@ func main() {
 		MaxCycles:     *maxCycles,
 		RetryLimit:    *retryLimit,
 		Faults:        reg,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("open server", err)
 	}
 	srv.Start()
 
@@ -90,24 +129,40 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("lapermd listening on %s (cache %s)", *addr, *cacheDir)
+	logger.Info("lapermd listening", "addr", *addr, "cache", *cacheDir)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		// Profiling lives on its own listener so it can be bound to
+		// localhost while the service address is public.
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: prof.DebugMux()}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener", "error", err)
+			}
+		}()
+		logger.Info("pprof debug listener up", "addr", *debugAddr)
+	}
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("listen", err)
 	case <-ctx.Done():
 	}
 
-	log.Printf("draining (budget %s)...", *drainTimeout)
+	logger.Info("draining", "budget", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("drain: %v (in-flight runs canceled)", err)
+		logger.Warn("drain deadline exceeded, in-flight runs canceled", "error", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err)
 	}
-	log.Print("lapermd stopped")
+	if debugSrv != nil {
+		debugSrv.Close()
+	}
+	logger.Info("lapermd stopped")
 }

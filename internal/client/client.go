@@ -27,6 +27,14 @@ import (
 	"time"
 
 	"laperm/internal/spec"
+	"laperm/internal/telemetry"
+)
+
+// Client-side metric names, registered when Config.Telemetry is set.
+const (
+	MetricBackoffs    = "laperm_client_backoffs_total"
+	MetricResubmits   = "laperm_client_resubmits_total"
+	MetricStreamTears = "laperm_client_stream_tears_total"
 )
 
 // Retryable terminal error kinds: failures the server marks as worker
@@ -111,6 +119,11 @@ type Config struct {
 	// the context's cancellation contract itself only if it blocks
 	// forever; the client re-checks ctx after every sleep.
 	Sleep func(time.Duration)
+	// Telemetry, when non-nil, receives the client's resilience counters
+	// (backoff sleeps, run resubmissions, SSE stream tears) — share the
+	// server's registry to see both sides in one exposition. Nil keeps
+	// every counting site free (nil-safe handles).
+	Telemetry *telemetry.Registry
 }
 
 // Client is a resilient lapermd client, safe for concurrent use. The
@@ -123,6 +136,10 @@ type Client struct {
 	hc   *http.Client
 	// jitterState is the splitmix64 counter; each delay draws one step.
 	jitterState atomic.Uint64
+	// Resilience counters; nil (and free) without Config.Telemetry.
+	backoffs    *telemetry.Counter
+	resubmits   *telemetry.Counter
+	streamTears *telemetry.Counter
 }
 
 // New builds a Client.
@@ -155,6 +172,14 @@ func New(cfg Config) *Client {
 	}
 	c := &Client{cfg: cfg, base: strings.TrimRight(cfg.BaseURL, "/"), hc: hc}
 	c.jitterState.Store(seed)
+	if reg := cfg.Telemetry; reg != nil {
+		c.backoffs = reg.Counter(MetricBackoffs,
+			"Backoff sleeps taken before retrying an HTTP request.")
+		c.resubmits = reg.Counter(MetricResubmits,
+			"Whole-run resubmissions after terminal retryable failures.")
+		c.streamTears = reg.Counter(MetricStreamTears,
+			"SSE streams that tore before a terminal event and were resumed.")
+	}
 	return c
 }
 
@@ -233,6 +258,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, he
 			if se, ok := lastErr.(*StatusError); ok {
 				retryAfter = se.retryAfter
 			}
+			c.backoffs.Inc()
 			if err := c.sleep(ctx, c.backoffDelay(attempt-1, retryAfter)); err != nil {
 				return 0, nil, nil, err
 			}
@@ -364,6 +390,7 @@ func (c *Client) Run(ctx context.Context, sp spec.RunSpec) (RunView, error) {
 		}
 		if RetryableKind(v.ErrorKind) && resubmits < c.cfg.ResubmitLimit {
 			resubmits++
+			c.resubmits.Inc()
 			if err := c.sleep(ctx, c.backoffDelay(resubmits-1, 0)); err != nil {
 				return RunView{}, err
 			}
@@ -401,6 +428,7 @@ func (c *Client) WatchEvents(ctx context.Context, id string, handler func(SSEEve
 		}
 		// The stream tore before a terminal state. Progress resets the
 		// reconnect budget; repeated zero-progress tears exhaust it.
+		c.streamTears.Inc()
 		if delivered > 0 {
 			tears = 0
 		}

@@ -1,0 +1,77 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"laperm/internal/telemetry"
+)
+
+// TestTelemetryCounters pins the client's resilience counters: backoff
+// sleeps and whole-run resubmissions land in the registry the Config names,
+// and render in the shared Prometheus exposition.
+func TestTelemetryCounters(t *testing.T) {
+	var submits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			// First submit is shed once (one backoff), then each accepted
+			// submission fails terminally with a retryable kind until the
+			// third, which completes.
+			n := submits.Add(1)
+			if n == 1 {
+				http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+				return
+			}
+			if n < 4 {
+				writeView(w, http.StatusOK, RunView{ID: "id1", State: "failed", ErrorKind: KindTransient})
+				return
+			}
+			writeView(w, http.StatusOK, doneView("id1"))
+		default:
+			writeView(w, http.StatusOK, doneView("id1"))
+		}
+	}))
+	defer ts.Close()
+
+	reg := telemetry.NewRegistry()
+	c, _ := newClient(ts, func(cfg *Config) { cfg.Telemetry = reg })
+	if _, err := c.Run(context.Background(), testSpec); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.backoffs.Value(); got < 1 {
+		t.Fatalf("backoffs = %d, want >= 1", got)
+	}
+	if got := c.resubmits.Value(); got != 2 {
+		t.Fatalf("resubmits = %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{MetricBackoffs, MetricResubmits} {
+		if !strings.Contains(sb.String(), "# TYPE "+name+" counter") {
+			t.Fatalf("exposition missing %s:\n%s", name, sb.String())
+		}
+	}
+}
+
+// TestNoTelemetryIsFree: without a registry the counter handles stay nil and
+// counting costs nothing.
+func TestNoTelemetryIsFree(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeView(w, http.StatusOK, doneView("id1"))
+	}))
+	defer ts.Close()
+	c, _ := newClient(ts, nil)
+	if c.backoffs != nil || c.resubmits != nil || c.streamTears != nil {
+		t.Fatal("counters registered without a Telemetry registry")
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.backoffs.Inc() }); n != 0 {
+		t.Fatalf("nil counter allocates %v per op", n)
+	}
+}

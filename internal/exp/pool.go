@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"laperm/internal/faults"
+	"laperm/internal/telemetry"
 )
 
 // Progress is one sweep-progress observation delivered to a ProgressFunc.
@@ -70,6 +71,13 @@ type Pool struct {
 	// become cell errors, panic faults are recovered into *PanicError —
 	// a crashing or flaking worker. Nil keeps the site zero-cost.
 	Faults *faults.Registry
+	// Busy, when non-nil, tracks pool occupancy: incremented while a cell
+	// executes, so a scrape sees how many workers are busy right now.
+	// CellSeconds, when non-nil, observes each cell's wall-clock run time.
+	// Both are nil-safe telemetry handles; unset they cost nothing.
+	Busy *telemetry.Gauge
+	// CellSeconds observes per-cell latency (seconds).
+	CellSeconds *telemetry.Histogram
 }
 
 // PanicError is a panic recovered from a worker-pool cell, surfaced as an
@@ -183,7 +191,12 @@ func (p Pool) RunContext(ctx context.Context, n int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
-				finish(i, runCell(ctx, i, p.Faults, fn))
+				cellStart := time.Now()
+				p.Busy.Inc()
+				err := runCell(ctx, i, p.Faults, fn)
+				p.Busy.Dec()
+				p.CellSeconds.Observe(time.Since(cellStart).Seconds())
+				finish(i, err)
 			}
 		}()
 	}

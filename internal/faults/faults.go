@@ -209,6 +209,22 @@ type siteState struct {
 type Registry struct {
 	seed  uint64
 	sites map[Site]*siteState
+	// obs, when non-nil, observes every site evaluation (fired or not) —
+	// the bridge to externally owned metrics. Set once via SetObserver
+	// before the registry is shared across goroutines.
+	obs func(site Site, fired bool)
+}
+
+// SetObserver installs a callback observing every evaluation of every armed
+// site: fired reports whether the rule fired. The callback must be fast and
+// allocation-free (it runs on the instrumented hot paths) and must be
+// installed before the registry is used concurrently. A nil registry
+// ignores the call.
+func (r *Registry) SetObserver(fn func(site Site, fired bool)) {
+	if r == nil {
+		return
+	}
+	r.obs = fn
 }
 
 // Parse builds a Registry from a schedule spec (see the package comment for
@@ -403,6 +419,9 @@ func (r *Registry) Hit(site Site) error {
 		return nil
 	}
 	ru, n, fired := st.decide(r.seed)
+	if r.obs != nil {
+		r.obs(site, fired)
+	}
 	if !fired {
 		return nil
 	}
@@ -430,6 +449,9 @@ func (r *Registry) Writer(site Site, w io.Writer) io.Writer {
 		return w
 	}
 	ru, n, fired := st.decide(r.seed)
+	if r.obs != nil {
+		r.obs(site, fired)
+	}
 	if !fired {
 		return w
 	}

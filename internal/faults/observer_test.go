@@ -1,0 +1,52 @@
+package faults
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestObserverSeesEvalsAndFires pins the SetObserver contract: the hook runs
+// on every evaluation of an armed site, with fired reporting whether the
+// rule triggered, and unarmed sites never reach it.
+func TestObserverSeesEvalsAndFires(t *testing.T) {
+	r := mustParse(t, "serve.cache.write=error:n=2", 1)
+	var evals, fires atomic.Uint64
+	r.SetObserver(func(site Site, fired bool) {
+		if site != SiteCacheWrite {
+			t.Errorf("observer saw unexpected site %s", site)
+		}
+		evals.Add(1)
+		if fired {
+			fires.Add(1)
+		}
+	})
+	for i := 0; i < 5; i++ {
+		r.Hit(SiteCacheWrite)
+		r.Hit(SiteSubmit) // unarmed: must not invoke the observer
+	}
+	if got := evals.Load(); got != 5 {
+		t.Fatalf("observer evals = %d, want 5", got)
+	}
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("observer fires = %d, want 2 (n=2 cap)", got)
+	}
+}
+
+// TestObserverZeroAlloc pins that attaching an observer keeps the armed-quiet
+// hit path allocation-free — the observer rides the existing zero-alloc
+// contract, it must not break it.
+func TestObserverZeroAlloc(t *testing.T) {
+	r := mustParse(t, "serve.cache.write=error:after=1000000000", 1)
+	var count atomic.Uint64
+	r.SetObserver(func(Site, bool) { count.Add(1) })
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := r.Hit(SiteCacheWrite); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("armed site with observer allocates %v per hit", n)
+	}
+	if count.Load() == 0 {
+		t.Fatal("observer never invoked")
+	}
+}

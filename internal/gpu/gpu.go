@@ -223,6 +223,12 @@ type Options struct {
 	// cancellation poll, faults.SiteGPUWatchdog at each watchdog check).
 	// Nil — the default — keeps every site zero-cost.
 	Faults *faults.Registry
+	// TraceSpan, when non-nil, observes the run's coarse wall-clock phases
+	// as closed (name, start, end) spans: "gpu.simulate" for the engine
+	// loop and "gpu.result" for result assembly. Flight recorders use it
+	// to break an "engine run" span into its internal phases; nil — the
+	// default — costs nothing.
+	TraceSpan func(name string, start, end time.Time)
 }
 
 // DefaultMaxCycles is the runaway-simulation guard used when Options leaves
@@ -321,6 +327,9 @@ type Simulator struct {
 	// flts is the armed failpoint registry (nil = disarmed, zero-cost).
 	flts *faults.Registry
 
+	// traceSpan observes coarse wall-clock run phases (nil = off).
+	traceSpan func(name string, start, end time.Time)
+
 	// kiArena is the current KernelInstance allocation chunk. Launches
 	// draw instance records from chunked slabs — one allocation per
 	// kiChunkSize launches instead of one per launch — and the slabs are
@@ -387,6 +396,7 @@ func New(opts Options) (*Simulator, error) {
 		audit:         opts.Audit,
 		ff:            !opts.DenseClock,
 		flts:          opts.Faults,
+		traceSpan:     opts.TraceSpan,
 	}
 	if ia, ok := opts.Scheduler.(IdleAware); ok {
 		if p := ia.IdleSelectPeriod(); p > 0 {
@@ -795,6 +805,10 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		return nil, &CanceledError{Cycle: s.now, Live: s.live, Cause: context.Cause(ctx)}
 	}
 
+	if s.traceSpan != nil {
+		simStart := time.Now()
+		defer func() { s.traceSpan("gpu.simulate", simStart, time.Now()) }()
+	}
 	phases := s.phaseList
 	var iter uint64
 	for s.now < s.maxCycles {
@@ -820,6 +834,12 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 				if err := s.runAudit(); err != nil {
 					return nil, err
 				}
+			}
+			if s.traceSpan != nil {
+				resStart := time.Now()
+				res := s.result()
+				s.traceSpan("gpu.result", resStart, time.Now())
+				return res, nil
 			}
 			return s.result(), nil
 		}

@@ -1,15 +1,34 @@
 // Package prof wires runtime/pprof CPU and heap profiling behind a pair of
 // flags shared by the CLIs, so simulator hot paths are measurable with
-// `go tool pprof` without per-command boilerplate.
+// `go tool pprof` without per-command boilerplate. For long-running
+// processes, DebugMux serves the same profiles (plus goroutine/block/mutex
+// inspection) over HTTP on a separate, opt-in debug listener.
 package prof
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// DebugMux returns a mux serving the net/http/pprof endpoints under
+// /debug/pprof/, for mounting on a dedicated debug listener — never on the
+// service mux, so profiling stays off the public surface and off by default.
+// Handlers are wired explicitly instead of importing the package for its
+// DefaultServeMux side effect.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
+}
 
 // Flags holds the profile destinations registered by Register.
 type Flags struct {

@@ -15,6 +15,7 @@ import (
 
 	"laperm/internal/exp"
 	"laperm/internal/faults"
+	"laperm/internal/telemetry"
 )
 
 // ResultArtifact is the artifact name that doubles as the cache entry's
@@ -84,6 +85,11 @@ type Cache struct {
 	// flts is the armed failpoint registry (nil = disarmed): sites
 	// SiteCacheWrite, SiteCacheRead, SiteCacheEvict.
 	flts *faults.Registry
+	// readBytes / writtenBytes count artifact bytes served from and
+	// committed to the cache. Nil-safe telemetry handles, wired by the
+	// owning server; a standalone Cache leaves them nil at no cost.
+	readBytes    *telemetry.Counter
+	writtenBytes *telemetry.Counter
 
 	mu          sync.Mutex
 	entries     map[string]*cacheEntry
@@ -247,6 +253,7 @@ func (c *Cache) ReadArtifact(id, name string) ([]byte, error) {
 		return nil, c.discardCorrupt(id, name,
 			fmt.Sprintf("sha256 %s, manifest says %s (%d bytes)", got, want, len(data)))
 	}
+	c.readBytes.Add(uint64(len(data)))
 	return data, nil
 }
 
@@ -351,6 +358,7 @@ func (c *Cache) Put(id string, artifacts []Artifact) error {
 			bytes += info.Size()
 		}
 	}
+	c.writtenBytes.Add(uint64(bytes))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.clock++

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"sync"
+	"time"
 
 	"laperm/internal/exp"
 	"laperm/internal/faults"
 	"laperm/internal/gpu"
 	"laperm/internal/spec"
+	"laperm/internal/telemetry"
 )
 
 // State is a job's position in its lifecycle.
@@ -104,6 +106,19 @@ type Job struct {
 	ID string
 	// Spec is the normalized submitted spec.
 	Spec spec.RunSpec
+
+	// flight is the job's flight recorder: wall-clock spans from submit to
+	// terminal state, served at /v1/runs/{id}/trace. Nil for cached jobs
+	// (nothing executed) — every telemetry field here is nil-safe.
+	flight *telemetry.Flight
+	// queueEnd closes the flight's "queue" span when dispatch claims the
+	// job; enqueuedAt feeds the queue-wait histogram.
+	queueEnd   func()
+	enqueuedAt time.Time
+	// sseEvents / sseDropped, set at submit time, count event publishes and
+	// drops caused by lagging subscribers.
+	sseEvents  *telemetry.Counter
+	sseDropped *telemetry.Counter
 
 	mu        sync.Mutex
 	state     State
@@ -265,7 +280,11 @@ func (j *Job) publishLocked(ev Event) {
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
+			j.sseEvents.Inc()
 		default:
+			// A slow SSE consumer must not stall the simulation; the drop
+			// is visible as subscriber lag in /metrics.
+			j.sseDropped.Inc()
 		}
 	}
 }

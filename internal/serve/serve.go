@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 	"laperm/internal/gpu"
 	"laperm/internal/kernels"
 	"laperm/internal/spec"
+	"laperm/internal/telemetry"
 	"laperm/internal/trace"
 )
 
@@ -97,6 +99,16 @@ type Config struct {
 	// experiment pool's cell site, and the engine's poll/watchdog sites.
 	// Nil (production) keeps every site zero-cost.
 	Faults *faults.Registry
+	// Telemetry, when non-nil, is the metric registry the server
+	// instruments itself onto — share one across servers to aggregate, or
+	// leave nil and the server creates a private registry (reachable via
+	// Server.Telemetry). Both expositions, GET /metrics (Prometheus text)
+	// and GET /metrics.json, render from this registry.
+	Telemetry *telemetry.Registry
+	// Logger, when non-nil, receives structured logs: one line per job
+	// lifecycle transition at Info, per-request access lines at Debug.
+	// Nil discards everything.
+	Logger *slog.Logger
 }
 
 // defaultRetryLimit is the number of transparent re-executions a job gets
@@ -123,6 +135,10 @@ type Server struct {
 	cache   *Cache
 	meter   *exp.Meter
 	started time.Time
+	log     *slog.Logger
+	tel     *serveMetrics
+	flights *telemetry.FlightRing
+	reqSeq  atomic.Uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -135,18 +151,6 @@ type Server struct {
 	baseCtx        context.Context
 	cancelBase     context.CancelCauseFunc
 	dispatcherDone chan struct{}
-
-	queued  atomic.Int64
-	running atomic.Int64
-
-	submissions atomic.Int64
-	coalesced   atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	jobsDone    atomic.Int64
-	jobsFailed  atomic.Int64
-	retries     atomic.Int64
-	shed        atomic.Int64
 
 	// testBeforeRun, when non-nil, runs after a job transitions to
 	// running and before the simulator starts — a test gate for
@@ -170,19 +174,33 @@ func New(cfg Config) (*Server, error) {
 	if depth <= 0 {
 		depth = 256
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(discardHandler{})
+	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	ctx, cancel := context.WithCancelCause(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:            cfg,
 		workers:        workers,
 		cache:          cache,
 		meter:          exp.NewMeter(),
 		started:        time.Now(),
+		log:            logger,
+		flights:        telemetry.NewFlightRing(flightRingCap),
 		jobs:           make(map[string]*Job),
 		queue:          make(chan *Job, depth),
 		baseCtx:        ctx,
 		cancelBase:     cancel,
 		dispatcherDone: make(chan struct{}),
-	}, nil
+	}
+	s.tel = s.newServeMetrics(reg)
+	cache.readBytes = reg.Counter(MetricCacheReadB, "Artifact bytes read (and verified) from the cache.")
+	cache.writtenBytes = reg.Counter(MetricCacheWrittenB, "Artifact bytes committed to the cache.")
+	return s, nil
 }
 
 // Start launches the dispatcher goroutine.
@@ -223,24 +241,30 @@ func (s *Server) closeQueue() {
 // Cache exposes the server's result cache (tests and metrics).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Handler returns the service's routes.
+// Handler returns the service's routes, each wrapped with per-route
+// request/latency instrumentation (the "route" label is the pattern, so
+// path parameters never explode series cardinality).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/artifacts/{id}/{name}", s.handleArtifact)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/runs", s.instrument("/v1/runs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleStatus))
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.instrument("/v1/runs/{id}/events", s.handleEvents))
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("/v1/runs/{id}/trace", s.handleTrace))
+	mux.HandleFunc("GET /v1/artifacts/{id}/{name}", s.instrument("/v1/artifacts/{id}/{name}", s.handleArtifact))
+	// Prometheus text exposition; the JSON view of the same registry
+	// stays at /metrics.json for humans and the smoke tests.
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetricsProm))
+	mux.HandleFunc("GET /metrics.json", s.instrument("/metrics.json", s.handleMetricsJSON))
 	// Liveness: the process is up and serving HTTP. Always 200 — a
 	// draining or saturated server is still alive and must not be killed
 	// by a liveness probe mid-drain.
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
 	// Readiness: whether new submissions would be accepted right now.
 	// False (503) while draining or while the launch queue is saturated,
 	// so load balancers steer traffic away before it is shed.
-	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReady))
 	return mux
 }
 
@@ -310,7 +334,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submissions.Add(1)
+	s.tel.submissions.Inc()
 	if err := s.cfg.Faults.Hit(faults.SiteSubmit); err != nil {
 		// An injected submit failure models the server dying mid-accept:
 		// answered as a retryable 503 so clients back off and resubmit —
@@ -325,9 +349,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// In-flight or finished in this process. Attaching to a live job
 		// is a coalesce; matching a done job is a cache hit.
 		if j.State() == StateDone {
-			s.cacheHits.Add(1)
+			s.tel.cacheHits.Inc()
 		} else {
-			s.coalesced.Add(1)
+			s.tel.coalesced.Inc()
 			j.noteCoalesced()
 		}
 		s.mu.Unlock()
@@ -341,7 +365,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// which case this submission falls through to a fresh execution
 		// instead of answering from a poisoned entry.
 		if _, err := s.cache.ReadArtifact(id, ResultArtifact); err == nil {
-			s.cacheHits.Add(1)
+			s.tel.cacheHits.Inc()
 			j := newCachedJob(id, sp)
 			s.jobs[id] = j
 			s.mu.Unlock()
@@ -349,7 +373,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.cacheMisses.Add(1)
+	s.tel.cacheMisses.Inc()
 	if s.draining {
 		// Draining is terminal for this process: 503 with no Retry-After,
 		// distinct from load shedding — clients should go elsewhere.
@@ -358,6 +382,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := newJob(id, sp)
+	j.sseEvents, j.sseDropped = s.tel.sseEvents, s.tel.sseDropped
+	j.flight = telemetry.NewFlight(id)
+	j.flight.Instant("job", "submit", map[string]string{
+		"workload": sp.Workload, "scheduler": sp.Scheduler,
+	})
+	j.enqueuedAt = time.Now()
+	j.queueEnd = j.flight.Start("job", "queue")
 	select {
 	case s.queue <- j:
 	default:
@@ -365,14 +396,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Retry-After tells well-behaved clients to back off and retry
 		// the same (idempotent) submission.
 		s.mu.Unlock()
-		s.shed.Add(1)
+		s.tel.shed.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("serve: launch queue full (%d queued), retry later", s.queued.Load()))
+			fmt.Errorf("serve: launch queue full (%d queued), retry later", s.tel.queueDepth.Value()))
 		return
 	}
 	s.jobs[id] = j
-	s.queued.Add(1)
+	s.tel.queueDepth.Inc()
+	s.logTransition(j, "queued")
 	s.mu.Unlock()
 	s.respondJob(w, http.StatusAccepted, j)
 }
@@ -585,7 +617,10 @@ type metricsView struct {
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsJSON renders the JSON metrics view — the same registry the
+// Prometheus exposition reads, reshaped into the original /metrics payload
+// (field-compatible with pre-telemetry clients).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -593,16 +628,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		UptimeSec:   time.Since(s.started).Seconds(),
 		Draining:    draining,
 		Workers:     s.workers,
-		QueueDepth:  s.queued.Load(),
-		Running:     s.running.Load(),
-		JobsDone:    s.jobsDone.Load(),
-		JobsFailed:  s.jobsFailed.Load(),
-		Retries:     s.retries.Load(),
-		Shed:        s.shed.Load(),
-		Submissions: s.submissions.Load(),
-		Coalesced:   s.coalesced.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		CacheMisses: s.cacheMisses.Load(),
+		QueueDepth:  s.tel.queueDepth.Value(),
+		Running:     s.tel.running.Value(),
+		JobsDone:    int64(s.tel.jobsDone.Value()),
+		JobsFailed:  int64(s.tel.jobsFailed.Value()),
+		Retries:     int64(s.tel.retries.Value()),
+		Shed:        int64(s.tel.shed.Value()),
+		Submissions: int64(s.tel.submissions.Value()),
+		Coalesced:   int64(s.tel.coalesced.Value()),
+		CacheHits:   int64(s.tel.cacheHits.Value()),
+		CacheMisses: int64(s.tel.cacheMisses.Value()),
 		Cache:       s.cache.Stats(),
 		SimCycles:   s.meter.Cycles(),
 	}
@@ -620,7 +655,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // server's base context. It exits when the queue is closed and drained.
 func (s *Server) dispatch() {
 	defer close(s.dispatcherDone)
-	pool := exp.Pool{Workers: s.workers, Meter: s.meter, Progress: s.batchProgress, Faults: s.cfg.Faults}
+	pool := exp.Pool{
+		Workers: s.workers, Meter: s.meter, Progress: s.batchProgress, Faults: s.cfg.Faults,
+		Busy: s.tel.poolBusy, CellSeconds: s.tel.cellSeconds,
+	}
 	for {
 		batch, ok := s.nextBatch()
 		if !ok {
@@ -644,12 +682,11 @@ func (s *Server) dispatch() {
 		// transients).
 		for _, j := range batch {
 			if j.State() == StateQueued {
-				s.queued.Add(-1)
-				s.jobsFailed.Add(1)
+				s.tel.queueDepth.Dec()
 				if poolErr != nil {
-					j.fail(classifyErr(poolErr), poolErr)
+					s.failJob(j, classifyErr(poolErr), poolErr)
 				} else {
-					j.fail(KindCanceled, shutdownCause(s.baseCtx))
+					s.failJob(j, KindCanceled, shutdownCause(s.baseCtx))
 				}
 			}
 		}
@@ -713,22 +750,56 @@ func shutdownCause(ctx context.Context) error {
 	return errors.New("serve: server shutting down")
 }
 
+// finishJob marks a job done: counters, flight hand-off into the completed
+// ring, and the lifecycle log line.
+func (s *Server) finishJob(j *Job) {
+	s.tel.jobsDone.Inc()
+	j.finish()
+	s.flights.Add(j.flight)
+	s.logTransition(j, "done")
+}
+
+// failJob marks a job failed with a classified error: counters, flight
+// hand-off, and the lifecycle log line carrying kind and error.
+func (s *Server) failJob(j *Job, kind string, err error) {
+	s.tel.jobsFailed.Inc()
+	j.fail(kind, err)
+	j.flight.Instant("job", "fail", map[string]string{"kind": kind, "error": err.Error()})
+	s.flights.Add(j.flight)
+	transition := "failed"
+	if kind == KindCanceled {
+		transition = "canceled"
+	}
+	s.logTransition(j, transition,
+		slog.String("kind", kind), slog.String("error", err.Error()))
+}
+
 // runJob executes one job end to end: state transitions, the simulation
 // itself (with bounded transparent retries of retryable failures), artifact
 // writes, and error classification. A panic anywhere in the attempt is
 // contained here — it must not unwind into the pool's cell recovery, which
 // would strand the job in StateRunning forever.
 func (s *Server) runJob(ctx context.Context, j *Job) {
-	s.queued.Add(-1)
-	s.running.Add(1)
-	defer s.running.Add(-1)
+	s.tel.queueDepth.Dec()
+	s.tel.running.Inc()
+	defer s.tel.running.Dec()
+	if j.queueEnd != nil {
+		j.queueEnd()
+	}
+	if !j.enqueuedAt.IsZero() {
+		s.tel.queueWait.Observe(time.Since(j.enqueuedAt).Seconds())
+	}
+	runEnd := j.flight.Start("job", "run")
+	defer runEnd()
+	runStart := time.Now()
+	defer func() { s.tel.runSeconds.Observe(time.Since(runStart).Seconds()) }()
 	j.setRunning()
+	s.logTransition(j, "running")
 	if hook := s.testBeforeRun; hook != nil {
 		hook(j)
 	}
 	if err := ctx.Err(); err != nil {
-		s.jobsFailed.Add(1)
-		j.fail(KindCanceled, shutdownCause(ctx))
+		s.failJob(j, KindCanceled, shutdownCause(ctx))
 		return
 	}
 	jctx := ctx
@@ -739,10 +810,11 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	}
 	limit := s.cfg.retryLimit()
 	for attempt := 0; ; attempt++ {
+		attemptEnd := j.flight.Start("job", fmt.Sprintf("attempt %d", attempt+1))
 		err := s.attempt(jctx, j)
+		attemptEnd()
 		if err == nil {
-			s.jobsDone.Add(1)
-			j.finish()
+			s.finishJob(j)
 			return
 		}
 		kind := classifyErr(err)
@@ -752,15 +824,20 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 			// a failed attempt touched can leak — failures are never
 			// cached, and Put is atomic-per-artifact with the completion
 			// marker last.
-			s.retries.Add(1)
+			s.tel.retries.Inc()
 			j.noteRetry()
+			j.flight.Instant("job", "retry", map[string]string{
+				"kind": kind, "error": err.Error(),
+			})
+			s.logTransition(j, "retrying",
+				slog.Int("attempt", attempt+1), slog.String("kind", kind),
+				slog.String("error", err.Error()))
 			j.publish(Event{Type: "retry", Data: map[string]any{
 				"attempt": attempt + 1, "kind": kind, "error": err.Error(),
 			}})
 			continue
 		}
-		s.jobsFailed.Add(1)
-		j.fail(kind, err)
+		s.failJob(j, kind, err)
 		return
 	}
 }
@@ -786,6 +863,8 @@ func (s *Server) attempt(ctx context.Context, j *Job) (err error) {
 	if err != nil {
 		return err
 	}
+	artEnd := j.flight.Start("engine", "artifacts")
+	defer artEnd()
 	arts, err := runArtifacts(j.Spec, res, rec)
 	if err != nil {
 		return err
@@ -798,10 +877,18 @@ func (s *Server) attempt(ctx context.Context, j *Job) (err error) {
 // stripped after feeding the throughput meter).
 func (s *Server) execute(ctx context.Context, j *Job) (*gpu.Result, *trace.Recorder, error) {
 	rec := trace.NewRecorder()
+	buildEnd := j.flight.Start("engine", "build")
 	sim, _, err := j.Spec.BuildWith(func(g *gpu.Options) {
 		g.Faults = s.cfg.Faults
 		if s.cfg.MaxCycles > 0 && (g.MaxCycles == 0 || g.MaxCycles > s.cfg.MaxCycles) {
 			g.MaxCycles = s.cfg.MaxCycles
+		}
+		if j.flight != nil {
+			// Engine run phases (simulate loop, result assembly) land on
+			// the flight's "engine" track alongside build and artifacts.
+			g.TraceSpan = func(name string, start, end time.Time) {
+				j.flight.Add("engine", name, start, end)
+			}
 		}
 		g.TraceDispatch = rec.DispatchHook()
 		g.TraceQueue = rec.QueueHook()
@@ -812,6 +899,7 @@ func (s *Server) execute(ctx context.Context, j *Job) (*gpu.Result, *trace.Recor
 			j.publish(Event{Type: "sample", Data: smp})
 		}
 	})
+	buildEnd()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -98,7 +98,7 @@ func getArtifact(t *testing.T, ts *httptest.Server, id, name string) []byte {
 
 func getMetrics(t *testing.T, ts *httptest.Server) metricsView {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with exactly one
+// # HELP and one # TYPE comment, series sorted by label values, histograms
+// expanded into cumulative _bucket series plus _sum and _count. Every
+// series is emitted at most once, so the output never contains duplicates.
+//
+// Collectors registered with OnScrape run first. Rendering holds each
+// family's lock only while reading its series; metric updates remain
+// lock-free throughout.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	names := append([]string{}, r.names...)
+	families := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		families = append(families, r.families[n])
+	}
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, f := range families {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+// write renders one family.
+func (f *family) write(w *bufio.Writer) {
+	f.mu.Lock()
+	keys := append([]string{}, f.order...)
+	rows := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows = append(rows, f.series[k])
+	}
+	f.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.typ.String())
+	w.WriteByte('\n')
+
+	for _, s := range rows {
+		switch {
+		case s.hist != nil:
+			f.writeHistogram(w, s)
+		case s.counter != nil:
+			f.writeSeries(w, f.name, s.labelValues, "", "", formatUint(s.counter.Value()))
+		case s.gauge != nil:
+			f.writeSeries(w, f.name, s.labelValues, "", "", strconv.FormatInt(s.gauge.Value(), 10))
+		case s.fn != nil:
+			f.writeSeries(w, f.name, s.labelValues, "", "", formatFloat(s.fn()))
+		}
+	}
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with an
+// le label, then _sum and _count.
+func (f *family) writeHistogram(w *bufio.Writer, s *series) {
+	h := s.hist
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		f.writeSeries(w, f.name+"_bucket", s.labelValues, "le", formatFloat(upper), formatUint(cum))
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	f.writeSeries(w, f.name+"_bucket", s.labelValues, "le", "+Inf", formatUint(cum))
+	f.writeSeries(w, f.name+"_sum", s.labelValues, "", "", formatFloat(h.Sum()))
+	f.writeSeries(w, f.name+"_count", s.labelValues, "", "", formatUint(h.Count()))
+}
+
+// writeSeries emits one sample line, appending an extra label (the
+// histogram le) when extraName is non-empty.
+func (f *family) writeSeries(w *bufio.Writer, name string, labelValues []string, extraName, extraValue, value string) {
+	w.WriteString(name)
+	if len(labelValues) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, lv := range labelValues {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(f.labelNames[i])
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(lv))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelValues) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(extraValue))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeHelp escapes a HELP comment per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

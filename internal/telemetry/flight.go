@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one wall-clock interval in a flight: where a job spent its time
+// between submission and its terminal state. Track groups spans into rows
+// ("job" for the service-level lifecycle, "engine" for simulator-internal
+// phases); a span whose End is zero was still open when the flight was
+// snapshotted. Instant marks a zero-length point event (a retry notice).
+type Span struct {
+	Track   string            `json:"track"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Instant bool              `json:"instant,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Flight is one job's span trace. All methods are safe for concurrent use,
+// and every method on the nil *Flight no-ops without allocating, so code
+// paths instrumented with spans cost nothing when no recorder is attached —
+// the same contract as the nil metric handles.
+type Flight struct {
+	id    string
+	begin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewFlight starts a flight for run id, anchored at now.
+func NewFlight(id string) *Flight {
+	return &Flight{id: id, begin: time.Now()}
+}
+
+// ID returns the flight's run id ("" for nil).
+func (f *Flight) ID() string {
+	if f == nil {
+		return ""
+	}
+	return f.id
+}
+
+// Begin returns the flight's anchor time (zero for nil).
+func (f *Flight) Begin() time.Time {
+	if f == nil {
+		return time.Time{}
+	}
+	return f.begin
+}
+
+// Add records a closed span.
+func (f *Flight) Add(track, name string, start, end time.Time) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.spans = append(f.spans, Span{Track: track, Name: name, Start: start, End: end})
+	f.mu.Unlock()
+}
+
+// Start opens a span now and returns the closure that ends it. The closure
+// is safe to call exactly once; spans left open appear with a zero End.
+func (f *Flight) Start(track, name string) (end func()) {
+	if f == nil {
+		return func() {}
+	}
+	start := time.Now()
+	f.mu.Lock()
+	f.spans = append(f.spans, Span{Track: track, Name: name, Start: start})
+	i := len(f.spans) - 1
+	f.mu.Unlock()
+	return func() {
+		f.mu.Lock()
+		f.spans[i].End = time.Now()
+		f.mu.Unlock()
+	}
+}
+
+// Instant records a point event with optional attributes.
+func (f *Flight) Instant(track, name string, attrs map[string]string) {
+	if f == nil {
+		return
+	}
+	now := time.Now()
+	f.mu.Lock()
+	f.spans = append(f.spans, Span{Track: track, Name: name, Start: now, End: now, Instant: true, Attrs: attrs})
+	f.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, in recording order.
+func (f *Flight) Spans() []Span {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Span(nil), f.spans...)
+}
+
+// Len returns the recorded span count (0 for nil).
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.spans)
+}
+
+// FlightRing keeps the last N completed flights by run id: the bounded
+// store behind the service's trace endpoint. Re-adding an id replaces its
+// flight without consuming a slot; beyond capacity, the oldest flight is
+// dropped. A nil *FlightRing discards adds and misses every lookup.
+type FlightRing struct {
+	cap int
+
+	mu   sync.Mutex
+	byID map[string]*Flight
+	fifo []string
+}
+
+// NewFlightRing returns a ring keeping the last n flights (n < 1 keeps 1).
+func NewFlightRing(n int) *FlightRing {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRing{cap: n, byID: make(map[string]*Flight)}
+}
+
+// Add stores a completed flight, evicting the oldest beyond capacity.
+func (r *FlightRing) Add(f *Flight) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[f.id]; ok {
+		r.byID[f.id] = f
+		return
+	}
+	r.byID[f.id] = f
+	r.fifo = append(r.fifo, f.id)
+	for len(r.fifo) > r.cap {
+		delete(r.byID, r.fifo[0])
+		r.fifo = r.fifo[1:]
+	}
+}
+
+// Get returns the flight for id, or nil.
+func (r *FlightRing) Get(id string) *Flight {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Len returns the stored flight count.
+func (r *FlightRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.fifo)
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFlightSpans(t *testing.T) {
+	f := NewFlight("run1")
+	if f.ID() != "run1" {
+		t.Fatalf("ID = %q", f.ID())
+	}
+	if f.Begin().IsZero() {
+		t.Fatal("Begin is zero")
+	}
+	end := f.Start("job", "queue")
+	f.Instant("job", "retry", map[string]string{"kind": "transient"})
+	end()
+	f.Add("engine", "simulate", time.Now(), time.Now().Add(time.Millisecond))
+
+	spans := f.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "queue" || spans[0].End.IsZero() {
+		t.Fatalf("queue span not closed: %+v", spans[0])
+	}
+	if !spans[1].Instant || spans[1].Attrs["kind"] != "transient" {
+		t.Fatalf("instant span wrong: %+v", spans[1])
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestFlightOpenSpan(t *testing.T) {
+	f := NewFlight("run2")
+	f.Start("job", "run") // never closed
+	spans := f.Spans()
+	if len(spans) != 1 || !spans[0].End.IsZero() {
+		t.Fatalf("open span should have zero End: %+v", spans)
+	}
+}
+
+func TestFlightRing(t *testing.T) {
+	r := NewFlightRing(2)
+	for i := 0; i < 3; i++ {
+		r.Add(NewFlight(fmt.Sprintf("f%d", i)))
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if r.Get("f0") != nil {
+		t.Fatal("oldest flight not evicted")
+	}
+	if r.Get("f2") == nil || r.Get("f1") == nil {
+		t.Fatal("recent flights missing")
+	}
+	// Replacing an id must not consume a slot.
+	repl := NewFlight("f2")
+	r.Add(repl)
+	if r.Len() != 2 || r.Get("f2") != repl {
+		t.Fatal("re-add did not replace in place")
+	}
+	if r.Get("f1") == nil {
+		t.Fatal("re-add evicted an unrelated flight")
+	}
+}
+
+func TestNilFlightSafe(t *testing.T) {
+	var f *Flight
+	f.Add("t", "n", time.Now(), time.Now())
+	f.Instant("t", "n", nil)
+	f.Start("t", "n")()
+	if f.ID() != "" || f.Len() != 0 || f.Spans() != nil {
+		t.Fatal("nil flight should be empty")
+	}
+	var r *FlightRing
+	r.Add(f)
+	if r.Get("x") != nil || r.Len() != 0 {
+		t.Fatal("nil ring should be empty")
+	}
+}

@@ -1,0 +1,471 @@
+// Package telemetry is the service's dependency-free measurement layer: a
+// metrics registry (counters, gauges, fixed-bucket histograms) that renders
+// Prometheus text exposition, and a span-based per-job flight recorder
+// (flight.go) for wall-clock tracing of a job's path through the service.
+//
+// Two contracts shape the API:
+//
+//   - Disabled telemetry is free. Every metric type is used through a
+//     pointer whose nil value no-ops: a component holding a nil *Counter or
+//     nil *Histogram pays a nil check per call and allocates nothing —
+//     the same contract as the faults package's disarmed registry, pinned
+//     by TestDisabledTelemetryZeroAlloc.
+//   - Hot paths are atomic. Counter.Add, Gauge.Set, and Histogram.Observe
+//     perform only atomic operations on pre-allocated state: no locks, no
+//     allocation, safe under full concurrency while another goroutine
+//     renders the exposition.
+//
+// Registration (Registry.Counter, CounterVec.With, ...) takes locks and may
+// allocate; callers on hot paths register once and hold the handle.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter discards
+// updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value. The nil *Gauge discards updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Observe is allocation-free:
+// bucket counts, the total count, and the sum (float64 bits updated by CAS)
+// are all atomics sized at registration. The nil *Histogram discards
+// observations.
+type Histogram struct {
+	// uppers holds the inclusive upper bounds of the finite buckets, in
+	// increasing order; counts has len(uppers)+1 entries, the last being
+	// the +Inf bucket. Counts are per-bucket (non-cumulative); the
+	// exposition accumulates.
+	uppers []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	h := &Histogram{
+		uppers: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, 1ms to ~100s.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// ExpBuckets returns n buckets starting at start, each factor times the
+// previous — byte sizes, queue depths, and other wide-range positives.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// metricType is a family's Prometheus type.
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance inside a family. Exactly one of counter,
+// gauge, hist, or fn is set; fn-backed series read their value at render
+// time (for values owned elsewhere, e.g. cache occupancy).
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64
+}
+
+// family is one named metric with its type, help text, label schema, and
+// series set. Series registration locks the family; reads during rendering
+// hold the same lock, but the metric handles themselves are lock-free.
+type family struct {
+	name       string
+	help       string
+	typ        metricType
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // registration order of series keys; rendering sorts
+}
+
+// Registry holds a metric namespace. The nil *Registry no-ops every
+// registration, returning nil metric handles, so a component instrumented
+// against a possibly-nil registry costs nothing when it is not measured.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	names      []string
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName reports whether s is a legal Prometheus metric or label name.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !label && r == ':' {
+			alpha = true
+		}
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookupOrCreate returns the family for name, creating it on first use.
+// Registering the same name again returns the existing family; registering
+// it with a different type, label schema, or bucket layout panics — that is
+// a programming error that would corrupt the exposition with conflicting
+// series.
+func (r *Registry) lookupOrCreate(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	if !validName(name, false) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l, true) {
+			panic(fmt.Sprintf("telemetry: metric %s: invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labelNames, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: append([]string(nil), labels...),
+		buckets:    append([]float64(nil), buckets...),
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey joins label values into the family's series map key. The unit
+// separator cannot appear in reasonable label values, so distinct tuples
+// never collide.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// get returns the series for the label values, creating it with mk on first
+// use.
+func (f *family) get(values []string, mk func() *series) *series {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("telemetry: metric %s: %d label values for %d labels",
+			f.name, len(values), len(f.labelNames)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labelValues = append([]string(nil), values...)
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Counter registers (or returns) an unlabeled counter. Nil registries return
+// a nil handle, whose methods no-op.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookupOrCreate(name, help, typeCounter, nil, nil)
+	return f.get(nil, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookupOrCreate(name, help, typeGauge, nil, nil)
+	return f.get(nil, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// Histogram registers (or returns) an unlabeled fixed-bucket histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	checkBuckets(name, buckets)
+	f := r.lookupOrCreate(name, help, typeHistogram, nil, buckets)
+	return f.get(nil, func() *series { return &series{hist: newHistogram(buckets)} }).hist
+}
+
+func checkBuckets(name string, buckets []float64) {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %s has no buckets", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s buckets not strictly increasing", name))
+		}
+	}
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — for monotonic totals owned elsewhere (the simulation-cycle meter,
+// cache statistics).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookupOrCreate(name, help, typeCounter, nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookupOrCreate(name, help, typeGauge, nil, nil)
+	f.get(nil, func() *series { return &series{fn: fn} })
+}
+
+// OnScrape registers a collector invoked (in registration order) at the
+// start of every exposition render, before any family is read — the hook
+// for syncing externally owned values (queue depths, cache occupancy) into
+// gauges exactly once per scrape.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.lookupOrCreate(name, help, typeCounter, labelNames, nil)}
+}
+
+// With returns the counter for one label-value tuple, creating it on first
+// use. Hot paths should hold the returned handle rather than calling With
+// per operation.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues, func() *series { return &series{counter: &Counter{}} }).counter
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.lookupOrCreate(name, help, typeGauge, labelNames, nil)}
+}
+
+// With returns the gauge for one label-value tuple, creating it on first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers (or returns) a labeled histogram family; every
+// series shares the bucket layout.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	checkBuckets(name, buckets)
+	return &HistogramVec{
+		f:       r.lookupOrCreate(name, help, typeHistogram, labelNames, buckets),
+		buckets: buckets,
+	}
+}
+
+// With returns the histogram for one label-value tuple, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(labelValues, func() *series { return &series{hist: newHistogram(v.buckets)} }).hist
+}

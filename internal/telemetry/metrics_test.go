@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("histogram count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 55.55 {
+		t.Fatalf("histogram sum = %v, want 55.55", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different handle")
+	}
+}
+
+func TestSchemaConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different type did not panic")
+		}
+	}()
+	r.Gauge("conflict", "help")
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "route", "code")
+	v.With("/a", "200").Add(3)
+	v.With("/a", "500").Inc()
+	if got := v.With("/a", "200").Value(); got != 3 {
+		t.Fatalf("series value = %d, want 3", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`req_total{route="/a",code="200"} 3`,
+		`req_total{route="/a",code="500"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestExpositionGolden pins the exact rendered output of a small registry:
+// families sorted by name, one HELP/TYPE pair each, cumulative histogram
+// buckets, escaped label values.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("zz_gauge", "last alphabetically, first registered").Set(-3)
+	c := r.Counter("aa_total", "first alphabetically")
+	c.Add(42)
+	h := r.Histogram("mid_seconds", "a histogram", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(99)
+	v := r.CounterVec("lbl_total", `with "quotes"`, "name")
+	v.With(`va"l`).Inc()
+	r.GaugeFunc("fn_gauge", "function-backed", func() float64 { return 1.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total first alphabetically
+# TYPE aa_total counter
+aa_total 42
+# HELP fn_gauge function-backed
+# TYPE fn_gauge gauge
+fn_gauge 1.5
+# HELP lbl_total with "quotes"
+# TYPE lbl_total counter
+lbl_total{name="va\"l"} 1
+# HELP mid_seconds a histogram
+# TYPE mid_seconds histogram
+mid_seconds_bucket{le="0.5"} 1
+mid_seconds_bucket{le="2"} 2
+mid_seconds_bucket{le="+Inf"} 3
+mid_seconds_sum 100.25
+mid_seconds_count 3
+# HELP zz_gauge last alphabetically, first registered
+# TYPE zz_gauge gauge
+zz_gauge -3
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestNoDuplicateSeries renders a registry with several families and checks
+// no sample line (metric name + label set) repeats — the invariant Prometheus
+// scrapers reject on.
+func TestNoDuplicateSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	r.Counter("a_total", "a").Inc() // same handle, one series
+	v := r.CounterVec("b_total", "b", "l")
+	v.With("x").Inc()
+	v.With("x").Inc()
+	v.With("y").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key := line[:strings.LastIndexByte(line, ' ')]
+		if seen[key] {
+			t.Fatalf("duplicate series %q in exposition:\n%s", key, sb.String())
+		}
+		seen[key] = true
+	}
+}
+
+// TestDisabledTelemetryZeroAlloc pins the nil-handle contract: every metric
+// operation through a nil registry, handle, or flight allocates nothing —
+// the same contract the faults package gives disarmed sites.
+func TestDisabledTelemetryZeroAlloc(t *testing.T) {
+	var nilReg *Registry
+	c := nilReg.Counter("x_total", "h")
+	g := nilReg.Gauge("x", "h")
+	h := nilReg.Histogram("x_seconds", "h", DefBuckets)
+	cv := nilReg.CounterVec("xv_total", "h", "l")
+	var f *Flight
+	var ring *FlightRing
+	if c != nil || g != nil || h != nil || cv != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	cases := map[string]func(){
+		"counter.Inc":       func() { c.Inc() },
+		"counter.Add":       func() { c.Add(3) },
+		"gauge.Set":         func() { g.Set(1) },
+		"gauge.Add":         func() { g.Add(-1) },
+		"histogram.Observe": func() { h.Observe(0.5) },
+		"vec.With":          func() { cv.With("v").Inc() },
+		"flight.Add":        func() { f.Add("t", "n", time.Time{}, time.Time{}) },
+		"flight.Instant":    func() { f.Instant("t", "n", nil) },
+		"flight.Start":      func() { f.Start("t", "n")() },
+		"ring.Add":          func() { ring.Add(nil) },
+		"registry.Write":    func() { nilReg.WritePrometheus(nil) },
+	}
+	for name, op := range cases {
+		if allocs := testing.AllocsPerRun(200, op); allocs != 0 {
+			t.Errorf("%s on nil handle: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestHotPathZeroAlloc pins the armed hot paths: updates on live handles
+// perform only atomic operations, no allocation.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "h")
+	g := r.Gauge("hot", "h")
+	h := r.Histogram("hot_seconds", "h", DefBuckets)
+	cases := map[string]func(){
+		"counter.Inc":       func() { c.Inc() },
+		"gauge.Add":         func() { g.Add(1) },
+		"histogram.Observe": func() { h.Observe(0.42) },
+	}
+	for name, op := range cases {
+		if allocs := testing.AllocsPerRun(200, op); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestConcurrentScrape hammers metric updates from many goroutines while the
+// exposition renders repeatedly; run under -race this pins the lock-free
+// update / locked-render split.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "h")
+	g := r.Gauge("hammer", "h")
+	h := r.Histogram("hammer_seconds", "h", []float64{0.1, 1})
+	v := r.CounterVec("hammer_lbl_total", "h", "w")
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := v.With(string(rune('a' + w)))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / iters)
+				lbl.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			if got := c.Value(); got != workers*iters {
+				t.Fatalf("counter = %d, want %d", got, workers*iters)
+			}
+			if got := h.Count(); got != workers*iters {
+				t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+			}
+			return
+		default:
+		}
+	}
+}

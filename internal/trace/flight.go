@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"laperm/internal/telemetry"
+)
+
+// Flight export: a telemetry flight (the service's per-job wall-clock span
+// recorder) rendered in the same Chrome trace_event JSON the simulation
+// Perfetto export uses, so ui.perfetto.dev opens both. Where the simulation
+// trace maps one cycle to one microsecond, a flight is real time: one
+// microsecond of wall clock per trace microsecond, anchored at the flight's
+// begin time.
+//
+// Each span track becomes its own process (sorted by name, pids from 1), so
+// the service-level lifecycle ("job": queued, run, attempts, artifacts) and
+// the engine-internal phases ("engine") land on separate rows. Closed spans
+// are complete ("X") slices, instants are instant ("i") events, and a span
+// still open at render time is closed at the latest timestamp in the
+// flight, so partial traces of in-flight jobs remain loadable.
+
+// WriteFlightPerfetto renders a flight as Chrome trace_event JSON.
+func WriteFlightPerfetto(w io.Writer, f *telemetry.Flight) error {
+	spans := f.Spans()
+	begin := f.Begin()
+
+	// Track names, sorted, one pid per track.
+	trackPid := map[string]int{}
+	names := make([]string, 0, 4)
+	for i := range spans {
+		if _, ok := trackPid[spans[i].Track]; !ok {
+			trackPid[spans[i].Track] = 0
+			names = append(names, spans[i].Track)
+		}
+	}
+	sort.Strings(names)
+	out := make([]perfettoEvent, 0, len(spans)+len(names))
+	for i, n := range names {
+		trackPid[n] = i + 1
+		out = append(out, meta("process_name", i+1, 0, n))
+	}
+
+	// A span still open when snapshotted ends at the flight's horizon: the
+	// latest end (or start) seen anywhere.
+	horizon := begin
+	for i := range spans {
+		if spans[i].End.After(horizon) {
+			horizon = spans[i].End
+		}
+		if spans[i].Start.After(horizon) {
+			horizon = spans[i].Start
+		}
+	}
+
+	ts := func(t time.Time) uint64 {
+		if d := t.Sub(begin); d > 0 {
+			return uint64(d / time.Microsecond)
+		}
+		return 0
+	}
+	// Sort for byte-stable output: by start, then track, then name.
+	ordered := append([]telemetry.Span(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := &ordered[i], &ordered[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	for i := range ordered {
+		sp := &ordered[i]
+		pid := trackPid[sp.Track]
+		var args map[string]any
+		if len(sp.Attrs) > 0 {
+			args = make(map[string]any, len(sp.Attrs))
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+		}
+		if sp.Instant {
+			out = append(out, perfettoEvent{
+				Name: sp.Name, Ph: "i", Cat: "flight", S: "p",
+				Ts: ts(sp.Start), Pid: pid, Tid: 0, Args: args,
+			})
+			continue
+		}
+		end := sp.End
+		if end.IsZero() {
+			end = horizon
+		}
+		dur := ts(end) - ts(sp.Start)
+		if dur == 0 {
+			dur = 1 // zero-length slices are invisible in the UI
+		}
+		out = append(out, perfettoEvent{
+			Name: sp.Name, Ph: "X", Cat: "flight",
+			Ts: ts(sp.Start), Dur: dur, Pid: pid, Tid: 0, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoTrace{TraceEvents: out})
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"laperm/internal/telemetry"
+)
+
+func TestWriteFlightPerfetto(t *testing.T) {
+	f := telemetry.NewFlight("abc")
+	begin := f.Begin()
+	f.Add("job", "queue", begin, begin.Add(2*time.Millisecond))
+	f.Add("job", "run", begin.Add(2*time.Millisecond), begin.Add(10*time.Millisecond))
+	f.Add("engine", "simulate", begin.Add(3*time.Millisecond), begin.Add(9*time.Millisecond))
+	f.Instant("job", "retry", map[string]string{"kind": "transient"})
+	f.Add("job", "open", begin.Add(4*time.Millisecond), time.Time{}) // still open
+
+	var buf bytes.Buffer
+	if err := WriteFlightPerfetto(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	byName := map[string]int{}
+	pids := map[string]int{}
+	var retryArgs map[string]any
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+		switch ev.Ph {
+		case "M":
+			// process_name metadata: args.name is the track.
+			if n, ok := ev.Args["name"].(string); ok {
+				pids[n] = ev.Pid
+			}
+		case "i":
+			retryArgs = ev.Args
+		}
+	}
+	// Tracks sorted: "engine" is pid 1, "job" pid 2.
+	if pids["engine"] != 1 || pids["job"] != 2 {
+		t.Fatalf("track pids = %v, want engine=1 job=2", pids)
+	}
+	queue := doc.TraceEvents[byName["queue"]]
+	if queue.Ph != "X" || queue.Ts != 0 || queue.Dur != 2000 {
+		t.Fatalf("queue slice wrong: %+v", queue)
+	}
+	run := doc.TraceEvents[byName["run"]]
+	if run.Ts != 2000 || run.Dur != 8000 {
+		t.Fatalf("run slice wrong: %+v", run)
+	}
+	sim := doc.TraceEvents[byName["simulate"]]
+	if sim.Pid != pids["engine"] {
+		t.Fatalf("simulate on pid %d, want engine pid %d", sim.Pid, pids["engine"])
+	}
+	if retryArgs["kind"] != "transient" {
+		t.Fatalf("instant args = %v", retryArgs)
+	}
+	// The open span must be closed at the horizon (latest time = run's end
+	// or the instant), never zero-length.
+	open := doc.TraceEvents[byName["open"]]
+	if open.Dur == 0 {
+		t.Fatalf("open span rendered zero-length: %+v", open)
+	}
+}
+
+func TestWriteFlightPerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFlightPerfetto(&buf, telemetry.NewFlight("empty")); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty flight output invalid: %v", err)
+	}
+}
