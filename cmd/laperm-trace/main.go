@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"laperm/internal/exp"
 	"laperm/internal/gpu"
@@ -33,8 +34,8 @@ import (
 
 func main() {
 	workload := flag.String("workload", "bfs-citation", "workload name (see laperm-experiments -exp table2)")
-	model := flag.String("model", "dtbl", "launch model (cdp, dtbl)")
-	sched := flag.String("sched", "adaptive-bind", "TB scheduler (rr, tb-pri, smx-bind, adaptive-bind)")
+	model := flag.String("model", "dtbl", "launch model ("+strings.Join(gpu.ModelNames(), ", ")+")")
+	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(spec.SchedulerNames(), ", ")+")")
 	scale := flag.String("scale", "tiny", "workload scale (tiny, small, medium)")
 	sampleEvery := flag.Uint64("sample-every", 512, "timeline sample window in cycles (0 disables sampling)")
 	jsonl := flag.String("jsonl", "", "write the event trace as JSON Lines to this file ('-' for stdout)")

@@ -32,8 +32,8 @@ import (
 
 func main() {
 	workload := flag.String("workload", "bfs-citation", `workload name, comma-separated list, or "all" (`+strings.Join(kernels.Names(), ", ")+")")
-	model := flag.String("model", "dtbl", "dynamic parallelism model (cdp, dtbl)")
-	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(spec.SchedulerNames, ", ")+")")
+	model := flag.String("model", "dtbl", "dynamic parallelism model ("+strings.Join(gpu.ModelNames(), ", ")+")")
+	sched := flag.String("sched", "adaptive-bind", "TB scheduler ("+strings.Join(spec.SchedulerNames(), ", ")+")")
 	scale := flag.String("scale", "small", "workload scale (tiny, small, medium)")
 	verbose := flag.Bool("v", false, "print per-SMX statistics")
 	timeline := flag.Uint64("timeline", 0, "sample the run every N cycles and print the timeline (single workload only)")

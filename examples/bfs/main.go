@@ -23,7 +23,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+		for _, model := range gpu.Models() {
 			var base float64
 			for _, sched := range exp.SchedulerNames {
 				res, err := exp.RunOne(w, model, sched, exp.Options{Scale: kernels.ScaleSmall})

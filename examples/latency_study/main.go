@@ -21,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, schedName := range []string{"rr", "adaptive-bind"} {
+	for _, schedName := range exp.SchedulerNames {
 		cfg := config.KeplerK20c()
 		sched, err := exp.NewScheduler(schedName, &cfg)
 		if err != nil {

@@ -27,7 +27,7 @@ func main() {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "model\tscheduler\tcycles\tIPC\tL1\tL2\tchild wait\timbalance")
-	for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+	for _, model := range gpu.Models() {
 		for _, sched := range exp.SchedulerNames {
 			res, err := exp.RunOne(w, model, sched, exp.Options{Scale: kernels.ScaleSmall})
 			if err != nil {

@@ -145,6 +145,19 @@ type GPU struct {
 	// finds the aggregation buffer full: StallWarp (default) or
 	// DropToKMU.
 	DTBLOverflowPolicy OverflowPolicy
+
+	// PMKLaunchLatency is the persistent-microkernel launch latency in
+	// core cycles: a task-queue push plus the dequeue by a scheduler warp
+	// resident on the SMX. Cheaper than DTBL's hardware coalescing path —
+	// no KMU or distributor interaction at all.
+	PMKLaunchLatency int
+	// PMKTaskQueueEntries bounds the persistent microkernel's device-side
+	// task queue: children that have been published but whose thread
+	// blocks have not all been dispatched yet. The queue is a
+	// memory-backed ring consumed by the resident scheduler warps; a
+	// producer that finds it full spins until an entry frees (there is no
+	// KMU fallback). 0 means unbounded.
+	PMKTaskQueueEntries int
 }
 
 // KeplerK20c returns the baseline configuration of Table I.
@@ -184,6 +197,12 @@ func KeplerK20c() GPU {
 		// it). The DTBL fallback demotes the overflow to the kernel path
 		// instead, trading launch latency for guaranteed progress.
 		DTBLOverflowPolicy: DropToKMU,
+		PMKLaunchLatency:   40,
+		// Sized like the KMU pending pool rather than the aggregation
+		// buffer: the task queue stalls producers when full (no KMU
+		// fallback exists), so it must exceed any workload's peak live
+		// child count the way the 2048-grid pending pool does.
+		PMKTaskQueueEntries: 8192,
 	}
 }
 
@@ -210,6 +229,10 @@ func SmallTest() GPU {
 	// hundreds of concurrent children. Only the aggregation buffer shrinks;
 	// its DropToKMU fallback always makes progress.
 	g.DTBLAggBufferEntries = 128
+	// The PMK task queue is inherited at full size for the same reason as
+	// the KMU pool (stalling producers must never wedge a saturated small
+	// machine); only its latency scales down with the other launch costs.
+	g.PMKLaunchLatency = 12
 	return g
 }
 
@@ -269,6 +292,8 @@ func (g *GPU) Validate() error {
 		{g.DTBLAggBufferEntries >= 0, "DTBLAggBufferEntries must be non-negative (0 = unbounded)"},
 		{g.DTBLOverflowPolicy == StallWarp || g.DTBLOverflowPolicy == DropToKMU,
 			"DTBLOverflowPolicy must be StallWarp or DropToKMU"},
+		{g.PMKLaunchLatency >= 0, "PMKLaunchLatency must be non-negative"},
+		{g.PMKTaskQueueEntries >= 0, "PMKTaskQueueEntries must be non-negative (0 = unbounded)"},
 	}
 	for _, c := range checks {
 		if !c.ok {

@@ -3,36 +3,50 @@ package core
 import (
 	"testing"
 
+	"laperm/internal/config"
 	"laperm/internal/gpu"
 	"laperm/internal/isa"
 )
 
-// conformancePolicies is the table the qualitative-invariant tests below
-// iterate: every evaluated policy with the paper's claims about it.
-var conformancePolicies = []struct {
-	name string
-	make func() gpu.TBScheduler
-	// childFirst: dynamic TBs dispatch ahead of remaining parent TBs on
-	// the SMXs where both are eligible (Section IV-A; false for the RR
-	// baseline, which is strictly FCFS).
-	childFirst bool
-	// strictBind: a child TB only ever dispatches inside its bound
-	// cluster (Section IV-B; SMX-Bind only — Adaptive-Bind deliberately
-	// relaxes this in stage 3).
-	strictBind bool
-}{
-	{"rr", func() gpu.TBScheduler { return NewRoundRobin() }, false, false},
-	{"tb-pri", func() gpu.TBScheduler { return NewTBPri(4) }, true, false},
-	{"smx-bind", func() gpu.TBScheduler { return NewSMXBind(4, 4) }, true, true},
-	{"adaptive-bind", func() gpu.TBScheduler { return NewAdaptiveBind(4, 4) }, true, false},
+// conformanceConfig is the machine the qualitative-invariant tests below run
+// on: 4 SMXs with private L1s.
+func conformanceConfig() config.GPU {
+	cfg := config.KeplerK20c()
+	cfg.NumSMX = 4
+	cfg.SMXsPerCluster = 1
+	cfg.MaxPriorityLevels = 4
+	return cfg
 }
+
+// conformancePolicies is the table the qualitative-invariant tests below
+// iterate: every registered policy, with the registry metadata deciding
+// which claims apply to it. A newly registered scheduler is conformance-
+// checked with no test edits.
+var conformancePolicies = func() []struct {
+	SchedulerInfo
+	make func() gpu.TBScheduler
+} {
+	cfg := conformanceConfig()
+	var table []struct {
+		SchedulerInfo
+		make func() gpu.TBScheduler
+	}
+	for _, info := range Schedulers() {
+		info := info
+		table = append(table, struct {
+			SchedulerInfo
+			make func() gpu.TBScheduler
+		}{info, func() gpu.TBScheduler { return info.New(&cfg) }})
+	}
+	return table
+}()
 
 // TestConformanceChildrenBeforeParents: with a host parent and a bound child
 // both pending, the child's TBs dispatch on the bound SMX before any parent
 // TB lands there. RR, the baseline, must instead dispatch FCFS.
 func TestConformanceChildrenBeforeParents(t *testing.T) {
 	for _, tc := range conformancePolicies {
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			s := tc.make()
 			parent := ki(0, 0, -1, nil, 8)
 			child := ki(1, 1, 0, parent, 3) // bound to SMX 0
@@ -44,15 +58,13 @@ func TestConformanceChildrenBeforeParents(t *testing.T) {
 				t.Fatalf("dispatched %d TBs, want 11", len(seq))
 			}
 			switch {
-			case tc.name == "tb-pri":
-				// Global priority queues: every child TB dispatches
-				// (anywhere) before any parent TB.
-				for i := 0; i < 3; i++ {
-					if seq[i][0] != 1 {
-						t.Fatalf("dispatch %d is kernel %d, want all 3 child TBs first: %v", i, seq[i][0], seq)
-					}
+			case !tc.ChildFirst:
+				// FCFS baseline: the enqueued-first parent dispatches
+				// first.
+				if seq[0][0] != 0 {
+					t.Errorf("%s dispatched the child before the FCFS parent: %v", tc.Name, seq)
 				}
-			case tc.childFirst:
+			case tc.Binding:
 				// Per-SMX banks: on the bound SMX 0, all child TBs
 				// dispatch before any parent TB lands there.
 				var onSMX0 []int
@@ -73,10 +85,13 @@ func TestConformanceChildrenBeforeParents(t *testing.T) {
 					t.Fatalf("only %d of 3 child TBs dispatched on the bound SMX: %v", childSeen, seq)
 				}
 			default:
-				// RR baseline: strictly FCFS, so the enqueued-first
-				// parent dispatches first.
-				if seq[0][0] != 0 {
-					t.Errorf("rr baseline dispatched the child before the FCFS parent: %v", seq)
+				// Child-first without binding (global priority queues):
+				// every child TB dispatches, anywhere, before any parent
+				// TB.
+				for i := 0; i < 3; i++ {
+					if seq[i][0] != 1 {
+						t.Fatalf("dispatch %d is kernel %d, want all 3 child TBs first: %v", i, seq[i][0], seq)
+					}
 				}
 			}
 		})
@@ -88,9 +103,9 @@ func TestConformanceChildrenBeforeParents(t *testing.T) {
 // of the machine idle; Adaptive-Bind must prefer its own bank (stage 1)
 // whenever every SMX has bound work of its own.
 func TestConformanceBindingHonored(t *testing.T) {
-	t.Run("smx-bind-strict", func(t *testing.T) {
+	t.Run("strict-binding", func(t *testing.T) {
 		for _, tc := range conformancePolicies {
-			if !tc.strictBind {
+			if !tc.StrictBinding {
 				continue
 			}
 			s := tc.make()
@@ -101,7 +116,7 @@ func TestConformanceBindingHonored(t *testing.T) {
 			d := &fakeDispatcher{numSMX: 4}
 			for _, e := range drain(t, s, d, 32) {
 				if e[1] != 2 {
-					t.Errorf("%s: bound child dispatched on SMX %d, want 2", tc.name, e[1])
+					t.Errorf("%s: bound child dispatched on SMX %d, want 2", tc.Name, e[1])
 				}
 			}
 		}
@@ -132,7 +147,7 @@ func TestConformanceBindingHonored(t *testing.T) {
 // models an SMX filling up after two resident TBs.
 func TestConformanceNoOverCommit(t *testing.T) {
 	for _, tc := range conformancePolicies {
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			s := tc.make()
 			var residents [4]int
 			d := &fakeDispatcher{numSMX: 4, fit: func(smx int, tb *isa.TB) bool {

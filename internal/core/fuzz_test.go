@@ -9,11 +9,12 @@ import (
 	"laperm/internal/isa"
 )
 
-// FuzzSchedulerDispatch feeds randomised launch traces through all four TB
-// schedulers under both dynamic-parallelism models with the invariant
-// auditor armed: no run may error, lose a thread block, or leave the engine
-// accounting inconsistent. The fuzz bytes shape the workload (parent count,
-// children per parent, child width, nesting) and the launch-queue bounds.
+// FuzzSchedulerDispatch feeds randomised launch traces through every
+// registered TB scheduler under every registered dynamic-parallelism model
+// with the invariant auditor armed: no run may error, lose a thread block,
+// or leave the engine accounting inconsistent. The fuzz bytes shape the
+// workload (parent count, children per parent, child width, nesting) and the
+// launch-queue bounds.
 func FuzzSchedulerDispatch(f *testing.F) {
 	f.Add(uint8(4), uint8(2), uint8(1), uint8(0), uint8(0))
 	f.Add(uint8(8), uint8(3), uint8(2), uint8(1), uint8(3))
@@ -34,14 +35,20 @@ func FuzzSchedulerDispatch(f *testing.F) {
 		case 0: // unbounded
 			cfg.KMUPendingCapacity = 0
 			cfg.DTBLAggBufferEntries = 0
+			cfg.PMKTaskQueueEntries = 0
 		case 1:
 			cfg.KMUPendingCapacity = 64
 			cfg.DTBLAggBufferEntries = 8
 			cfg.DTBLOverflowPolicy = config.DropToKMU
+			// PMK launches always stall on a full queue (no KMU to demote
+			// to), so its bound stays KMU-pool-sized here where deep
+			// nesting is allowed.
+			cfg.PMKTaskQueueEntries = 64
 		case 2:
 			cfg.KMUPendingCapacity = 64
 			cfg.DTBLAggBufferEntries = 8
 			cfg.DTBLOverflowPolicy = config.StallWarp
+			cfg.PMKTaskQueueEntries = 8
 			// StallWarp can genuinely deadlock when every TB slot is
 			// held by a block stalled at a launch (the scenario
 			// TestDeadlockWatchdogReportsCircularWait constructs on
@@ -80,17 +87,12 @@ func FuzzSchedulerDispatch(f *testing.F) {
 		}
 		k := kb.Build()
 
-		mkScheds := map[string]func() gpu.TBScheduler{
-			"rr":       func() gpu.TBScheduler { return core.NewRoundRobin() },
-			"tb-pri":   func() gpu.TBScheduler { return core.NewTBPri(cfg.MaxPriorityLevels) },
-			"smx-bind": func() gpu.TBScheduler { return core.NewSMXBind(cfg.NumSMX, cfg.MaxPriorityLevels) },
-			"adaptive": func() gpu.TBScheduler { return core.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels) },
-		}
-		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
-			for name, mk := range mkScheds {
+		for _, model := range gpu.Models() {
+			for _, info := range core.Schedulers() {
+				name := info.Name
 				sim := gpu.MustNew(gpu.Options{
 					Config:           &cfg,
-					Scheduler:        mk(),
+					Scheduler:        info.New(&cfg),
 					Model:            model,
 					Audit:            true,
 					WatchdogInterval: 5_000,

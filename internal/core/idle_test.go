@@ -19,13 +19,21 @@ import (
 
 const idleNumSMX = 4
 
+// idleSchedulers returns a constructor per registered policy whose metadata
+// declares gpu.IdleAware — every one of them must pass the twin tests below.
 func idleSchedulers() map[string]func() gpu.TBScheduler {
-	return map[string]func() gpu.TBScheduler{
-		"rr":            func() gpu.TBScheduler { return NewRoundRobin() },
-		"tb-pri":        func() gpu.TBScheduler { return NewTBPri(3) },
-		"smx-bind":      func() gpu.TBScheduler { return NewSMXBind(idleNumSMX, 3) },
-		"adaptive-bind": func() gpu.TBScheduler { return NewAdaptiveBind(idleNumSMX, 3) },
+	cfg := conformanceConfig()
+	cfg.NumSMX = idleNumSMX
+	cfg.MaxPriorityLevels = 3
+	mks := make(map[string]func() gpu.TBScheduler)
+	for _, info := range Schedulers() {
+		if !info.IdleAware {
+			continue
+		}
+		info := info
+		mks[info.Name] = func() gpu.TBScheduler { return info.New(&cfg) }
 	}
+	return mks
 }
 
 // loadMixed enqueues an identical mixed working set: one host kernel in the
@@ -48,6 +56,8 @@ func rawState(s gpu.TBScheduler) string {
 		return fmt.Sprintf("cursor=%d", v.cursor)
 	case *AdaptiveBind:
 		return fmt.Sprintf("cursor=%d backup=%v", v.cursor, v.backup)
+	case *WorkSteal:
+		return fmt.Sprintf("cursor=%d", v.cursor)
 	}
 	return ""
 }

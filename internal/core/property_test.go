@@ -93,17 +93,14 @@ func runTraced(t *testing.T, k *isa.Kernel, mk func(cfg *config.GPU) gpu.TBSched
 	return events, res
 }
 
+// schedulerFactories returns a constructor per registered policy, so the
+// property tests sweep every scheduler in the registry.
 func schedulerFactories() map[string]func(cfg *config.GPU) gpu.TBScheduler {
-	return map[string]func(cfg *config.GPU) gpu.TBScheduler{
-		"rr":     func(cfg *config.GPU) gpu.TBScheduler { return core.NewRoundRobin() },
-		"tb-pri": func(cfg *config.GPU) gpu.TBScheduler { return core.NewTBPri(cfg.MaxPriorityLevels) },
-		"smx-bind": func(cfg *config.GPU) gpu.TBScheduler {
-			return core.NewSMXBind(cfg.NumSMX, cfg.MaxPriorityLevels)
-		},
-		"adaptive-bind": func(cfg *config.GPU) gpu.TBScheduler {
-			return core.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels)
-		},
+	mks := make(map[string]func(cfg *config.GPU) gpu.TBScheduler)
+	for _, info := range core.Schedulers() {
+		mks[info.Name] = info.New
 	}
+	return mks
 }
 
 // TestSchedulerInvariantsOnRandomWorkloads checks, for every scheduler and
@@ -119,7 +116,7 @@ func TestSchedulerInvariantsOnRandomWorkloads(t *testing.T) {
 		if err := k.Validate(); err != nil {
 			t.Fatalf("trial %d: invalid workload: %v", trial, err)
 		}
-		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+		for _, model := range gpu.Models() {
 			var wantInsts int64 = -1
 			for name, mk := range schedulerFactories() {
 				events, res := runTraced(t, k, mk, model)

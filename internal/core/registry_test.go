@@ -1,0 +1,99 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"laperm/internal/config"
+	"laperm/internal/gpu"
+)
+
+// TestRegistryOrderAndNames pins the registration order — it is the
+// enumeration order of every spec, matrix, CSV, and golden file, so a
+// reorder is a breaking change.
+func TestRegistryOrderAndNames(t *testing.T) {
+	want := []string{"rr", "tb-pri", "smx-bind", "adaptive-bind", "work-steal"}
+	if got := SchedulerNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("SchedulerNames() = %v, want %v", got, want)
+	}
+	if got := len(Schedulers()); got != len(want) {
+		t.Errorf("Schedulers() has %d entries, want %d", got, len(want))
+	}
+}
+
+// TestRegistryMetadataMatchesTypes checks every entry's declared metadata
+// against the constructed instance: the Name the scheduler reports, and the
+// IdleAware flag against a type assertion. A metadata lie here would make
+// the fast-forward clock either skip Selects it must not or pin the TB phase
+// needlessly.
+func TestRegistryMetadataMatchesTypes(t *testing.T) {
+	cfg := config.KeplerK20c()
+	for _, info := range Schedulers() {
+		s := info.New(&cfg)
+		if s == nil {
+			t.Fatalf("%s: factory returned nil", info.Name)
+		}
+		if s.Name() != info.Name {
+			t.Errorf("%s: instance reports Name() = %q", info.Name, s.Name())
+		}
+		if _, ok := s.(gpu.IdleAware); ok != info.IdleAware {
+			t.Errorf("%s: IdleAware metadata %v, type assertion %v", info.Name, info.IdleAware, ok)
+		}
+		if info.StrictBinding && !info.Binding {
+			t.Errorf("%s: StrictBinding without Binding", info.Name)
+		}
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+	}
+}
+
+// TestRegistryLookup covers the by-name paths the upper layers validate
+// through.
+func TestRegistryLookup(t *testing.T) {
+	if info, ok := SchedulerByName("work-steal"); !ok || info.Name != "work-steal" {
+		t.Errorf("SchedulerByName(work-steal) = %+v, %v", info, ok)
+	}
+	if _, ok := SchedulerByName("fifo"); ok {
+		t.Error("SchedulerByName accepted an unknown name")
+	}
+	cfg := config.KeplerK20c()
+	if s, err := NewSchedulerFor("rr", &cfg); err != nil || s.Name() != "rr" {
+		t.Errorf("NewSchedulerFor(rr) = %v, %v", s, err)
+	}
+	_, err := NewSchedulerFor("fifo", &cfg)
+	if err == nil {
+		t.Fatal("NewSchedulerFor accepted an unknown name")
+	}
+	for _, name := range SchedulerNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered scheduler %q", err, name)
+		}
+	}
+}
+
+// TestRegisterSchedulerPanics pins the registration-time guards; the
+// registry is restored afterwards so other tests see the built-ins only.
+func TestRegisterSchedulerPanics(t *testing.T) {
+	saved := schedulerRegistry
+	defer func() { schedulerRegistry = saved }()
+
+	expectPanic := func(why string, info SchedulerInfo) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("RegisterScheduler with %s did not panic", why)
+			}
+		}()
+		RegisterScheduler(info)
+	}
+	mk := func(cfg *config.GPU) gpu.TBScheduler { return NewRoundRobin() }
+	expectPanic("empty name", SchedulerInfo{New: mk})
+	expectPanic("nil factory", SchedulerInfo{Name: "x"})
+	expectPanic("duplicate name", SchedulerInfo{Name: "rr", New: mk})
+
+	RegisterScheduler(SchedulerInfo{Name: "test-policy", Description: "t", New: mk})
+	if _, ok := SchedulerByName("test-policy"); !ok {
+		t.Error("registered policy not resolvable")
+	}
+}

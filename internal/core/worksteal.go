@@ -1,0 +1,183 @@
+package core
+
+// WorkSteal is a work-stealing task-queue scheduler in the style of Atos-like
+// GPU task runtimes: one deque of kernel instances per SMX plus a global FIFO
+// for host kernels. The owning SMX pops its deque from the newest end —
+// freshly launched children are the hottest in its L1, and within a deque
+// newest also means deepest-nested, so LIFO order recovers the child-first
+// priority of Section IV-A without explicit priority levels. An SMX that
+// runs dry steals from the *oldest* end of a victim's deque (the entries
+// whose locality has decayed most), visiting victims in cluster-distance
+// order so stolen work stays as close to its bound L1 as the topology
+// allows.
+//
+// Determinism: the simulator is single-threaded, so unlike its namesakes the
+// deques need no atomics, and the fixed steal order makes every Select a
+// pure function of scheduler state — runs are byte-identical at any worker
+// count like every other registered policy.
+
+import (
+	"laperm/internal/gpu"
+)
+
+// wsDeque is one SMX's task deque with amortised trimming at both ends.
+// Instances are appended at the bottom (newest) and consumed from either
+// end; an instance only exhausts while it sits at an end (the owner drains
+// the bottom entry, thieves the top one), so trimming the ends is enough —
+// interior entries are always live.
+type wsDeque struct {
+	items []*gpu.KernelInstance
+	head  int // index of the oldest live entry
+}
+
+func (q *wsDeque) push(k *gpu.KernelInstance) { q.items = append(q.items, k) }
+
+// trim drops exhausted instances from both ends and compacts the backing
+// array once the dead head region dominates it. Trimming is idempotent on
+// frozen state, which the IdleAware replay below relies on.
+func (q *wsDeque) trim() {
+	for len(q.items) > q.head && q.items[len(q.items)-1].Exhausted() {
+		q.items[len(q.items)-1] = nil
+		q.items = q.items[:len(q.items)-1]
+	}
+	for q.head < len(q.items) && q.items[q.head].Exhausted() {
+		q.items[q.head] = nil
+		q.head++
+	}
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head >= wsCompactThreshold && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}
+
+// newest returns the bottom (most recently pushed) live instance, or nil.
+func (q *wsDeque) newest() *gpu.KernelInstance {
+	q.trim()
+	if q.head == len(q.items) {
+		return nil
+	}
+	return q.items[len(q.items)-1]
+}
+
+// oldest returns the top (least recently pushed) live instance, or nil.
+func (q *wsDeque) oldest() *gpu.KernelInstance {
+	q.trim()
+	if q.head == len(q.items) {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// wsCompactThreshold is how large a deque's dead head region may grow before
+// trim compacts the backing array.
+const wsCompactThreshold = 32
+
+// WorkSteal implements gpu.TBScheduler; see the package comment above. Use
+// NewWorkSteal / NewWorkStealClusters.
+type WorkSteal struct {
+	global      fifo      // host kernels, FCFS
+	deques      []wsDeque // one per SMX, children bound by BoundSMX
+	clusterSize int
+	cursor      int
+	// Steals counts dispatches of TBs taken from another SMX's deque, for
+	// the load-balance analyses.
+	Steals int64
+}
+
+// NewWorkSteal returns a work-stealing scheduler for numSMX SMXs with
+// private L1s (every SMX its own cluster).
+func NewWorkSteal(numSMX int) *WorkSteal { return NewWorkStealClusters(numSMX, 1) }
+
+// NewWorkStealClusters is the cluster-aware variant: steal victims are
+// visited same-cluster first, then by increasing cluster distance, so stolen
+// TBs land as close to the L1 that holds their parent's data as possible.
+func NewWorkStealClusters(numSMX, smxsPerCluster int) *WorkSteal {
+	if smxsPerCluster < 1 || numSMX%smxsPerCluster != 0 {
+		panic("core: SMXs per cluster must be positive and divide the SMX count")
+	}
+	return &WorkSteal{deques: make([]wsDeque, numSMX), clusterSize: smxsPerCluster}
+}
+
+// Name implements gpu.TBScheduler.
+func (w *WorkSteal) Name() string { return "work-steal" }
+
+// Enqueue implements gpu.TBScheduler: children are pushed onto their bound
+// SMX's deque; host kernels join the global FIFO.
+func (w *WorkSteal) Enqueue(k *gpu.KernelInstance) {
+	if k.Parent == nil || k.BoundSMX < 0 {
+		w.global.push(k)
+		return
+	}
+	w.deques[k.BoundSMX].push(k)
+}
+
+// Select implements gpu.TBScheduler. One SMX is considered per dispatch slot
+// (round-robin cursor), in three stages mirroring the Figure 6 flow:
+//
+//  1. Own deque, newest first. A bound TB that does not currently fit waits
+//     for its SMX rather than being redirected.
+//  2. The global host-kernel FIFO.
+//  3. Steal: the oldest TB of the first non-empty victim deque in
+//     cluster-distance order that fits on this SMX.
+func (w *WorkSteal) Select(d gpu.Dispatcher) (*gpu.KernelInstance, int) {
+	cur := w.cursor
+	w.cursor = (w.cursor + 1) % len(w.deques)
+
+	if k := w.deques[cur].newest(); k != nil {
+		if d.CanFit(cur, k.PeekTB()) {
+			return k, cur
+		}
+		return nil, 0
+	}
+	if k := w.global.head(); k != nil {
+		if d.CanFit(cur, k.PeekTB()) {
+			return k, cur
+		}
+		return nil, 0
+	}
+	numClusters := len(w.deques) / w.clusterSize
+	myCluster := cur / w.clusterSize
+	for dist := 0; dist < numClusters; dist++ {
+		c := (myCluster + dist) % numClusters
+		for i := 0; i < w.clusterSize; i++ {
+			v := c*w.clusterSize + i
+			if v == cur {
+				continue
+			}
+			if k := w.deques[v].oldest(); k != nil && d.CanFit(cur, k.PeekTB()) {
+				w.Steals++
+				return k, cur
+			}
+		}
+	}
+	return nil, 0
+}
+
+// IdleSelectPeriod implements gpu.IdleAware: one full round over the SMXs,
+// like the other per-SMX-cursor policies — only a fruitless Select at every
+// cursor position proves quiescence.
+func (w *WorkSteal) IdleSelectPeriod() int { return len(w.deques) }
+
+// SkipIdleSelects implements gpu.IdleAware: a nil Select's only surviving
+// effect is the cursor advance (deque trims are idempotent on frozen state,
+// and the steal scan records nothing), replayed modulo the SMX count.
+func (w *WorkSteal) SkipIdleSelects(n uint64) {
+	w.cursor = advanceCursor(w.cursor, n, len(w.deques))
+}
+
+// SkipEmptySelects implements gpu.IdleAware: with nothing enqueued every
+// stage falls through, so the effect is the same cursor advance.
+func (w *WorkSteal) SkipEmptySelects(n uint64) { w.SkipIdleSelects(n) }
+
+// Compile-time interface checks.
+var (
+	_ gpu.TBScheduler = (*WorkSteal)(nil)
+	_ gpu.IdleAware   = (*WorkSteal)(nil)
+)

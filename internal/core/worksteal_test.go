@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"laperm/internal/isa"
+)
+
+// TestWorkStealOwnerPopsNewest: the owning SMX drains its deque LIFO — with
+// two children bound to SMX 0, the later-enqueued (deeper-nested, hotter)
+// one dispatches first.
+func TestWorkStealOwnerPopsNewest(t *testing.T) {
+	s := NewWorkSteal(4)
+	parent := ki(9, 0, -1, nil, 1)
+	parent.NextTB = 1
+	s.Enqueue(ki(0, 1, 0, parent, 1)) // older
+	s.Enqueue(ki(1, 2, 0, parent, 1)) // newer
+	d := &fakeDispatcher{numSMX: 4}
+	seq := drain(t, s, d, 16)
+	if len(seq) != 2 || seq[0][0] != 1 || seq[1][0] != 0 {
+		t.Errorf("owner dispatch order = %v, want newest (kernel 1) first", seq)
+	}
+}
+
+// TestWorkStealThievesTakeOldest: a thief takes the victim's oldest entry,
+// leaving the newest for the owner's locality.
+func TestWorkStealThievesTakeOldest(t *testing.T) {
+	s := NewWorkSteal(2)
+	parent := ki(9, 0, -1, nil, 1)
+	parent.NextTB = 1
+	s.Enqueue(ki(0, 1, 1, parent, 1)) // older, bound to SMX 1
+	s.Enqueue(ki(1, 1, 1, parent, 1)) // newer, bound to SMX 1
+	d := &fakeDispatcher{numSMX: 2}
+	// Slot for SMX 0: own deque and global both empty, so it steals — and
+	// must take kernel 0, the oldest.
+	k, smx := s.Select(d)
+	if k == nil || k.ID != 0 || smx != 0 {
+		t.Fatalf("Select = kernel %v on SMX %d, want stolen kernel 0 on SMX 0", k, smx)
+	}
+	if s.Steals != 1 {
+		t.Errorf("Steals = %d, want 1", s.Steals)
+	}
+	k.NextTB++
+	// Slot for SMX 1: the owner still gets its newest remaining entry.
+	k, smx = s.Select(d)
+	if k == nil || k.ID != 1 || smx != 1 {
+		t.Fatalf("Select = kernel %v on SMX %d, want kernel 1 on SMX 1", k, smx)
+	}
+}
+
+// TestWorkStealClusterDistanceOrder: with victims in the thief's own cluster
+// and in a remote one, the same-cluster victim is robbed first.
+func TestWorkStealClusterDistanceOrder(t *testing.T) {
+	// 4 SMXs, clusters {0,1} and {2,3}.
+	s := NewWorkStealClusters(4, 2)
+	parent := ki(9, 0, -1, nil, 1)
+	parent.NextTB = 1
+	s.Enqueue(ki(0, 1, 2, parent, 1)) // remote cluster victim (enqueued first)
+	s.Enqueue(ki(1, 1, 1, parent, 1)) // same-cluster victim
+	d := &fakeDispatcher{numSMX: 4}
+	// Slot for SMX 0: must steal from SMX 1 (cluster distance 0) before
+	// SMX 2 (distance 1), despite SMX 2's entry being older overall.
+	k, smx := s.Select(d)
+	if k == nil || k.ID != 1 || smx != 0 {
+		t.Fatalf("Select = kernel %v on SMX %d, want same-cluster kernel 1 on SMX 0", k, smx)
+	}
+	if s.Steals != 1 {
+		t.Errorf("Steals = %d, want 1", s.Steals)
+	}
+}
+
+// TestWorkStealBoundWaitsForItsSMX: a bound TB that does not fit on its own
+// SMX is not redirected by that SMX's slot — binding is sticky; only a
+// genuine thief may move it.
+func TestWorkStealBoundWaitsForItsSMX(t *testing.T) {
+	s := NewWorkSteal(2)
+	parent := ki(9, 0, -1, nil, 1)
+	parent.NextTB = 1
+	s.Enqueue(ki(0, 1, 0, parent, 2))
+	full0 := &fakeDispatcher{numSMX: 2, fit: func(smx int, tb *isa.TB) bool { return smx != 0 }}
+	// SMX 0's slot: its own bound work doesn't fit; it must wait, not
+	// dispatch the bound TB elsewhere.
+	if k, _ := s.Select(full0); k != nil {
+		t.Fatalf("SMX 0 dispatched kernel %d while its bound work didn't fit", k.ID)
+	}
+	// SMX 1's slot: stealing the waiting TB is allowed.
+	k, smx := s.Select(full0)
+	if k == nil || k.ID != 0 || smx != 1 {
+		t.Fatalf("Select = kernel %v on SMX %d, want stolen kernel 0 on SMX 1", k, smx)
+	}
+}
+
+// TestWorkStealHostKernelsRoundRobin: host kernels (no binding) fan across
+// the SMXs via the rotating cursor.
+func TestWorkStealHostKernelsRoundRobin(t *testing.T) {
+	s := NewWorkSteal(4)
+	s.Enqueue(ki(0, 0, -1, nil, 8))
+	d := &fakeDispatcher{numSMX: 4}
+	seq := drain(t, s, d, 16)
+	if len(seq) != 8 {
+		t.Fatalf("dispatched %d TBs, want 8", len(seq))
+	}
+	for i, e := range seq {
+		if e[1] != i%4 {
+			t.Errorf("dispatch %d on SMX %d, want %d: %v", i, e[1], i%4, seq)
+		}
+	}
+	if s.Steals != 0 {
+		t.Errorf("Steals = %d for a host-only workload, want 0", s.Steals)
+	}
+}
+
+// TestWorkStealClustersValidation pins the constructor guard.
+func TestWorkStealClustersValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorkStealClusters(4, 3) did not panic")
+		}
+	}()
+	NewWorkStealClusters(4, 3)
+}
+
+// TestWSDequeTrimCompacts exercises the amortised compaction path: a long
+// FIFO-consumed deque must shrink its dead head region.
+func TestWSDequeTrimCompacts(t *testing.T) {
+	var q wsDeque
+	parent := ki(9, 0, -1, nil, 1)
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.push(ki(i, 1, 0, parent, 1))
+	}
+	for i := 0; i < n; i++ {
+		k := q.oldest()
+		if k == nil || k.ID != i {
+			t.Fatalf("oldest() = %v at step %d, want kernel %d", k, i, i)
+		}
+		k.NextTB++ // exhaust it
+	}
+	if q.oldest() != nil {
+		t.Error("deque not empty after consuming every entry")
+	}
+	if q.head != 0 || len(q.items) != 0 {
+		t.Errorf("deque not reset after drain: head=%d len=%d", q.head, len(q.items))
+	}
+}

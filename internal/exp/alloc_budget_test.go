@@ -3,7 +3,7 @@ package exp
 // Whole-cell allocation budgets: one explicit number per benchmarked
 // workload, covering simulator construction, the complete run (including the
 // device-launch path the micro pins in internal/gpu cannot see), and result
-// assembly, across both launch models and all four schedulers. The steady
+// assembly, across every registered launch model and scheduler. The steady
 // state is zero-alloc (pinned in gpu/smx/mem), so a cell's total is its
 // fixed setup cost — measured at 211–274 allocations per cell. The budgets
 // leave ~50% headroom for benign construction changes; a single stray
@@ -13,7 +13,6 @@ package exp
 import (
 	"testing"
 
-	"laperm/internal/gpu"
 	"laperm/internal/kernels"
 )
 
@@ -36,7 +35,7 @@ func TestCellAllocationBudgets(t *testing.T) {
 				t.Fatal(err)
 			}
 			w.Build(o.Scale) // warm the program and graph-input memos
-			for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+			for _, model := range Models {
 				for _, sched := range SchedulerNames {
 					var runErr error
 					allocs := testing.AllocsPerRun(2, func() {

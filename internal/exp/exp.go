@@ -8,17 +8,20 @@ import (
 	"io"
 
 	"laperm/internal/config"
+	"laperm/internal/core"
 	"laperm/internal/gpu"
 	"laperm/internal/kernels"
 	"laperm/internal/smx"
 )
 
-// SchedulerNames lists the evaluated TB schedulers in the paper's order:
-// the baseline and the three LaPerm schemes.
-var SchedulerNames = []string{"rr", "tb-pri", "smx-bind", "adaptive-bind"}
+// SchedulerNames lists the evaluated TB schedulers: every policy in the
+// core scheduler registry, in registration order (the paper's baseline and
+// three LaPerm schemes, then extensions).
+var SchedulerNames = core.SchedulerNames()
 
-// Models lists the two dynamic-parallelism models evaluated.
-var Models = []gpu.Model{gpu.CDP, gpu.DTBL}
+// Models lists the dynamic-parallelism models evaluated: every model in the
+// gpu launch-model registry, in registration order.
+var Models = gpu.Models()
 
 // Options configures an experiment run.
 type Options struct {

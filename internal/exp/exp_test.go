@@ -74,8 +74,8 @@ func TestRunMatrixAndFigures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m.Results) != 2*2*4 {
-		t.Fatalf("matrix cells = %d, want 16", len(m.Results))
+	if want := 2 * len(Models) * len(SchedulerNames); len(m.Results) != want {
+		t.Fatalf("matrix cells = %d, want %d", len(m.Results), want)
 	}
 	var buf bytes.Buffer
 	if err := Fig7From(m, &buf); err != nil {
@@ -207,8 +207,8 @@ func TestCSVExports(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	// header + 2 workloads x 2 models x 4 schedulers.
-	if want := 1 + 2*2*4; len(lines) != want {
+	// header + one row per workload x model x scheduler cell.
+	if want := 1 + 2*len(Models)*len(SchedulerNames); len(lines) != want {
 		t.Errorf("matrix CSV rows = %d, want %d", len(lines), want)
 	}
 	if !strings.HasPrefix(lines[0], "workload,app,input,model,scheduler") {

@@ -7,8 +7,9 @@ import (
 	"laperm/internal/kernels"
 )
 
-// benchMatrix runs the SmallTest evaluation matrix (4 workloads x 2 models x
-// 4 schedulers = 32 cells) at the given worker count. The serial/parallel
+// benchMatrix runs the SmallTest evaluation matrix (4 workloads x every
+// registered model x every registered scheduler) at the given worker count.
+// The serial/parallel
 // pair is the speedup trajectory CI tracks via `go test -bench=Matrix`.
 func benchMatrix(b *testing.B, workers int) {
 	o := fastOptions("bfs-citation", "join-uniform", "amr", "bht")

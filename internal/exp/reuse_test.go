@@ -59,8 +59,8 @@ func TestReuseCSVAndReport(t *testing.T) {
 		t.Fatalf("WriteReuseCSV: %v", err)
 	}
 	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
-	// header + 2 workloads x 4 schedulers x 2 levels
-	if want := 1 + 2*4*2; len(lines) != want {
+	// header + 2 workloads x schedulers x 2 cache levels
+	if want := 1 + 2*len(SchedulerNames)*2; len(lines) != want {
 		t.Errorf("reuse CSV has %d lines, want %d", len(lines), want)
 	}
 	if !strings.HasPrefix(lines[0], "workload,app,input,model,scheduler,level,") {

@@ -19,7 +19,7 @@ import (
 
 // minScalingSpeedup is the wall-clock factor an 8-worker matrix sweep must
 // achieve over the serial sweep on a machine with at least 8 schedulable
-// CPUs. The 32 cells are near-uniform in cost, so an unserialised pool
+// CPUs. The matrix cells are near-uniform in cost, so an unserialised pool
 // clears 3x comfortably; the GC-bound regression this guards against
 // plateaued at ~1x.
 const minScalingSpeedup = 3.0

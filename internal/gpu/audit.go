@@ -13,8 +13,8 @@ import "fmt"
 //   - KMU queue counters vs the actual queue contents;
 //   - KDU entry accounting vs the set of incomplete KDU kernels;
 //   - the live-kernel count vs the instance list;
-//   - bounded launch-pool occupancy (KMU pending pool, DTBL aggregation
-//     buffer) vs the per-instance entry flags, and their capacities;
+//   - bounded launch-pool occupancy (KMU pending pool, the model's direct
+//     pool) vs the per-instance entry flags, and their capacities;
 //   - per-instance TB counters (dispatched/done vs grid size).
 
 // invariant wraps a failed check into an *InvariantError with the engine
@@ -34,9 +34,13 @@ func (s *Simulator) stateDump() string {
 	for _, x := range s.smxs {
 		resident += x.ResidentBlocks()
 	}
-	return fmt.Sprintf("cycle=%d live=%d kernels=%d arrivals=%d kmuCount=%d kduUsed=%d kmuPool=%d/%d agg=%d/%d residentTBs=%d",
+	pool := s.path.Queue
+	if pool == "" { // KMU-only model: no direct pool to name
+		pool = "direct"
+	}
+	return fmt.Sprintf("cycle=%d live=%d kernels=%d arrivals=%d kmuCount=%d kduUsed=%d kmuPool=%d/%d %s=%d/%d residentTBs=%d",
 		s.now, s.live, len(s.kernels), s.pendingArrivals(), s.kmuCount, s.kduUsed,
-		s.kmuInFlight, s.cfg.KMUPendingCapacity, s.aggUsed, s.cfg.DTBLAggBufferEntries, resident)
+		s.kmuInFlight, s.cfg.KMUPendingCapacity, pool, s.aggUsed, s.path.Capacity, resident)
 }
 
 // runAudit validates every engine invariant, returning an *InvariantError
@@ -111,9 +115,9 @@ func (s *Simulator) runAudit() error {
 		return s.invariant("kmu-pool-capacity",
 			fmt.Sprintf("kmuInFlight %d exceeds capacity %d", s.kmuInFlight, c))
 	}
-	if c := s.cfg.DTBLAggBufferEntries; c > 0 && s.aggUsed > c {
+	if c := s.path.Capacity; s.path.Direct && c > 0 && s.aggUsed > c {
 		return s.invariant("agg-pool-capacity",
-			fmt.Sprintf("aggUsed %d exceeds capacity %d", s.aggUsed, c))
+			fmt.Sprintf("%s pool holds %d entries, exceeds capacity %d", s.path.Queue, s.aggUsed, c))
 	}
 	return nil
 }

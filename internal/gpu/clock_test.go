@@ -12,22 +12,18 @@ import (
 	"laperm/internal/isa"
 )
 
-// clockSchedulers builds each TB scheduler policy fresh for a config, in the
-// shape the differential matrix iterates over. Every policy implements
-// gpu.IdleAware, so these cover both quiescence proofs the fast-forward clock
-// uses (single-nil for the global queues, full-round for the binding
-// cursors).
+// clockSchedulers builds every registered TB scheduler policy fresh for a
+// config, in the shape the differential matrix iterates over. Every policy
+// implements gpu.IdleAware, so these cover both quiescence proofs the
+// fast-forward clock uses (single-nil for the global queues, full-round for
+// the per-SMX cursors).
 func clockSchedulers(cfg *config.GPU) map[string]func() gpu.TBScheduler {
-	return map[string]func() gpu.TBScheduler{
-		"rr":     func() gpu.TBScheduler { return core.NewRoundRobin() },
-		"tb-pri": func() gpu.TBScheduler { return core.NewTBPri(cfg.MaxPriorityLevels) },
-		"smx-bind": func() gpu.TBScheduler {
-			return core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels)
-		},
-		"adaptive-bind": func() gpu.TBScheduler {
-			return core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels)
-		},
+	mks := make(map[string]func() gpu.TBScheduler)
+	for _, info := range core.Schedulers() {
+		info := info
+		mks[info.Name] = func() gpu.TBScheduler { return info.New(cfg) }
 	}
+	return mks
 }
 
 // clockRun executes one cell with every observable armed — sampling,
@@ -100,7 +96,7 @@ func diffClocks(t *testing.T, model gpu.Model, cfg config.GPU,
 // engine steps densely or fast-forwards between event horizons.
 func TestClockEquivalenceMatrix(t *testing.T) {
 	cfg := config.SmallTest()
-	for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+	for _, model := range gpu.Models() {
 		for name, mk := range clockSchedulers(&cfg) {
 			t.Run(fmt.Sprintf("%v/%s", model, name), func(t *testing.T) {
 				diffClocks(t, model, cfg, mk, launchingKernel(6, 3))
@@ -131,6 +127,15 @@ func TestClockEquivalenceBackpressure(t *testing.T) {
 		diffClocks(t, gpu.CDP, cfg,
 			func() gpu.TBScheduler { return core.NewRoundRobin() },
 			overflowWorkload(2, 5))
+	})
+	t.Run("pmk-taskq", func(t *testing.T) {
+		// PMK's task queue is StallWarp-only: a producer that finds it
+		// full spins, with every retry cycle accounted.
+		cfg := config.SmallTest()
+		cfg.PMKTaskQueueEntries = 2
+		diffClocks(t, gpu.PMK, cfg,
+			func() gpu.TBScheduler { return core.NewRoundRobin() },
+			overflowWorkload(4, 6))
 	})
 }
 

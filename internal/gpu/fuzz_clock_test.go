@@ -12,8 +12,8 @@ import (
 // FuzzClockEquivalence is the adversarial version of the clock differential
 // matrix: the fuzz bytes shape a dynamic-parallelism workload (parent count,
 // launches per parent, child width, nesting, memory footprint overlap) and
-// pick a launch-queue bound, then every scheduler under both models runs the
-// same cell densely and fast-forwarded. Any byte sequence whose Results or
+// pick a launch-queue bound, then every registered scheduler under every
+// registered model runs the same cell densely and fast-forwarded. Any byte sequence whose Results or
 // trace streams diverge is a cycle-exactness bug in the event-horizon clock.
 func FuzzClockEquivalence(f *testing.F) {
 	f.Add(uint8(4), uint8(2), uint8(1), uint8(0), uint8(0))
@@ -34,6 +34,7 @@ func FuzzClockEquivalence(f *testing.F) {
 			cfg.KMUPendingCapacity = 8
 			cfg.DTBLAggBufferEntries = 4
 			cfg.DTBLOverflowPolicy = config.DropToKMU
+			cfg.PMKTaskQueueEntries = 64 // stall-only queue: keep above peak live children
 		case 2:
 			// StallWarp can genuinely deadlock with a saturated machine;
 			// that is fine here — the deadlock verdict itself must be
@@ -42,6 +43,7 @@ func FuzzClockEquivalence(f *testing.F) {
 			cfg.KMUPendingCapacity = 16
 			cfg.DTBLAggBufferEntries = 4
 			cfg.DTBLOverflowPolicy = config.StallWarp
+			cfg.PMKTaskQueueEntries = 8
 			deep = false
 			if max := cfg.NumSMX * cfg.TBsPerSMX / 2; parents > max {
 				parents = max
@@ -70,7 +72,7 @@ func FuzzClockEquivalence(f *testing.F) {
 		}
 		k := kb.Build()
 
-		for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+		for _, model := range gpu.Models() {
 			for name, mk := range clockSchedulers(&cfg) {
 				runOnce := func(dense bool) (*gpu.Result, []string, error) {
 					res, log, err := clockRun(t, dense, model, cfg, mk(), k)

@@ -31,31 +31,6 @@ import (
 	"laperm/internal/smx"
 )
 
-// Model selects the dynamic-parallelism launch mechanism.
-type Model int
-
-const (
-	// CDP launches children as device kernels routed SMX -> KMU -> KDU,
-	// paying the full device-kernel launch latency and competing for the
-	// 32 KDU entries.
-	CDP Model = iota
-	// DTBL launches children as lightweight thread-block groups that are
-	// coalesced onto the kernel distributor and are always visible to
-	// the TB scheduler.
-	DTBL
-)
-
-// String returns the model name.
-func (m Model) String() string {
-	switch m {
-	case CDP:
-		return "cdp"
-	case DTBL:
-		return "dtbl"
-	}
-	return fmt.Sprintf("Model(%d)", int(m))
-}
-
 // KernelInstance is one running (or pending) grid: a host-launched kernel,
 // a CDP device kernel, or a DTBL thread-block group.
 type KernelInstance struct {
@@ -94,11 +69,13 @@ type KernelInstance struct {
 	// enqueued marks the instance as handed to the TB scheduler; together
 	// with Exhausted it drives the engine's schedLive count.
 	enqueued bool
-	// viaKMU routes the arrival: true for host kernels, CDP children,
-	// and DTBL children demoted by the DropToKMU overflow policy.
+	// viaKMU routes the arrival: true for host kernels, children of
+	// KMU-path models (CDP), and direct-path children demoted to the KMU
+	// by an OverflowToKMU launch path.
 	viaKMU bool
 	// poolKMU / poolAgg mark a held entry in the bounded KMU pending
-	// pool / DTBL aggregation buffer.
+	// pool / direct launch pool (the DTBL aggregation buffer or the PMK
+	// task queue).
 	poolKMU bool
 	poolAgg bool
 }
@@ -149,8 +126,9 @@ const (
 	// QueueStall: a warp's launch found its queue full and stalled (one
 	// event per episode, not per retry cycle).
 	QueueStall QueueEventKind = iota
-	// QueueOverflow: a DTBL launch found the aggregation buffer full and
-	// was demoted to the KMU path (DropToKMU policy).
+	// QueueOverflow: a direct-path launch found its pool full and was
+	// demoted to the KMU path (an OverflowToKMU launch path, e.g. DTBL
+	// under DropToKMU).
 	QueueOverflow
 )
 
@@ -163,7 +141,8 @@ type QueueEvent struct {
 	SMX    int
 	Parent *KernelInstance
 	Child  *isa.Kernel
-	// Queue names the full queue: "kmu" or "agg".
+	// Queue names the full queue: "kmu" for the KMU pending pool, or the
+	// model's direct-pool name ("agg" for DTBL, "taskq" for PMK).
 	Queue string
 }
 
@@ -244,8 +223,12 @@ const DefaultWatchdogInterval = 50_000
 
 // Simulator owns one end-to-end simulation.
 type Simulator struct {
-	cfg    *config.GPU
-	model  Model
+	cfg   *config.GPU
+	model Model
+	// path is the model's child-launch path, computed once from the
+	// registry descriptor and cfg; Launch consults it instead of
+	// branching on the model identity.
+	path   LaunchPath
 	sched  TBScheduler
 	memsys *mem.System
 	smxs   []*smx.SMX
@@ -280,8 +263,9 @@ type Simulator struct {
 
 	// Bounded launch-path state. kmuInFlight counts device launches
 	// holding a KMU pending-pool entry (in arrivals or KMU queues);
-	// aggUsed counts DTBL groups holding an aggregation-buffer entry
-	// (launched, not yet fully dispatched).
+	// aggUsed counts direct-path children holding a direct-pool entry —
+	// a DTBL aggregation-buffer or PMK task-queue slot (launched, not
+	// yet fully dispatched).
 	kmuInFlight int
 	aggUsed     int
 	peakKMU     int
@@ -370,6 +354,10 @@ func New(opts Options) (*Simulator, error) {
 	if opts.Scheduler == nil {
 		return nil, fmt.Errorf("gpu: Options.Scheduler is required")
 	}
+	modelInfo, ok := opts.Model.Info()
+	if !ok {
+		return nil, fmt.Errorf("gpu: unknown launch model %d (registered: %v)", int(opts.Model), ModelNames())
+	}
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
@@ -384,6 +372,7 @@ func New(opts Options) (*Simulator, error) {
 	s := &Simulator{
 		cfg:           opts.Config,
 		model:         opts.Model,
+		path:          modelInfo.Path(opts.Config),
 		sched:         opts.Scheduler,
 		memsys:        mem.NewSystem(opts.Config),
 		maxCycles:     maxCycles,
@@ -450,23 +439,26 @@ func (s *Simulator) ResidentTBs(smxID int) int { return s.smxs[smxID].ResidentBl
 // Cycle implements Dispatcher.
 func (s *Simulator) Cycle() uint64 { return s.now }
 
-// Launch implements smx.Events: a warp executed a device-side launch. It
-// returns false — stalling the warp — when the launch path's bounded queue
-// is full under the StallWarp policy; under DropToKMU a DTBL launch that
-// finds the aggregation buffer full is demoted to the KMU path instead.
+// Launch implements smx.Events: a warp executed a device-side launch. The
+// model's LaunchPath decides the route: direct paths (DTBL, PMK) hand the
+// child straight to the TB scheduler after their launch latency; the KMU
+// path (CDP) routes it through the KMU and KDU. It returns false — stalling
+// the warp — when the path's bounded pool is full and does not overflow to
+// the KMU; a direct launch that overflows with OverflowToKMU set is demoted
+// to the KMU path instead, paying the CDP latency.
 func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint64, retry bool) bool {
 	parent := b.Owner.(*KernelInstance)
-	viaAgg := s.model == DTBL
+	direct := s.path.Direct
 	demoted := false
-	if viaAgg && s.cfg.DTBLAggBufferEntries > 0 && s.aggUsed >= s.cfg.DTBLAggBufferEntries {
-		if s.cfg.DTBLOverflowPolicy == config.DropToKMU {
-			viaAgg, demoted = false, true
+	if direct && s.path.Capacity > 0 && s.aggUsed >= s.path.Capacity {
+		if s.path.OverflowToKMU {
+			direct, demoted = false, true
 		} else {
-			s.noteStall(smxID, parent, child, retry, "agg")
+			s.noteStall(smxID, parent, child, retry, s.path.Queue)
 			return false
 		}
 	}
-	if !viaAgg && s.cfg.KMUPendingCapacity > 0 && s.kmuInFlight >= s.cfg.KMUPendingCapacity {
+	if !direct && s.cfg.KMUPendingCapacity > 0 && s.kmuInFlight >= s.cfg.KMUPendingCapacity {
 		s.noteStall(smxID, parent, child, retry, "kmu")
 		return false
 	}
@@ -476,8 +468,8 @@ func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint6
 		prio = s.cfg.MaxPriorityLevels
 	}
 	latency := s.cfg.CDPLaunchLatency
-	if viaAgg {
-		latency = s.cfg.DTBLLaunchLatency
+	if direct {
+		latency = s.path.Latency
 	}
 	ki := s.newInstance()
 	ki.ID = s.nextID
@@ -487,8 +479,8 @@ func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint6
 	ki.Parent = parent
 	ki.LaunchCycle = now
 	ki.ArriveCycle = now + uint64(latency)
-	ki.viaKMU = !viaAgg
-	if viaAgg {
+	ki.viaKMU = !direct
+	if direct {
 		ki.poolAgg = true
 		s.aggUsed++
 		if s.aggUsed > s.peakAgg {
@@ -505,7 +497,7 @@ func (s *Simulator) Launch(smxID int, b *smx.Block, child *isa.Kernel, now uint6
 		s.queueOverflows++
 		if s.traceQ != nil {
 			s.traceQ(QueueEvent{Kind: QueueOverflow, Cycle: now, SMX: smxID,
-				Parent: parent, Child: child, Queue: "agg"})
+				Parent: parent, Child: child, Queue: s.path.Queue})
 		}
 	}
 	s.nextID++
@@ -611,9 +603,9 @@ func (q *kmuFIFO) len() int { return len(q.items) - q.head }
 func (q *kmuFIFO) empty() bool { return q.head >= len(q.items) }
 
 // deliverArrivals moves launches whose latency has elapsed to the KMU (CDP
-// and host kernels, plus demoted DTBL groups) or directly to the TB
-// scheduler (DTBL TB groups, which are coalesced onto the distributor and
-// always visible).
+// and host kernels, plus demoted direct-path children) or directly to the
+// TB scheduler (DTBL TB groups and PMK task-queue entries, which are always
+// visible to it).
 func (s *Simulator) deliverArrivals() {
 	for s.arrHead < len(s.arrivals) && s.arrivals[s.arrHead].ArriveCycle <= s.now {
 		ki := s.arrivals[s.arrHead]
@@ -689,9 +681,9 @@ func (s *Simulator) enqueueSched(ki *KernelInstance) {
 	s.dirtySched()
 }
 
-// tbDispatch runs the TB scheduler for this cycle's dispatch slots. A DTBL
-// group's aggregation-buffer entry is released when its last thread block
-// dispatches. A quiesced IdleAware scheduler is not polled: the elided nil
+// tbDispatch runs the TB scheduler for this cycle's dispatch slots. A
+// direct-path child's pool entry (aggregation buffer / task queue) is
+// released when its last thread block dispatches. A quiesced IdleAware scheduler is not polled: the elided nil
 // Select is counted and replayed in bulk once the scheduler wakes, so the
 // Select-call sequence it observes is identical to dense clocking.
 func (s *Simulator) tbDispatch() error {

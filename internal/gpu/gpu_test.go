@@ -87,7 +87,7 @@ func TestSimpleKernelCompletes(t *testing.T) {
 }
 
 func TestDynamicLaunchesComplete(t *testing.T) {
-	for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
+	for _, model := range gpu.Models() {
 		res := run(t, gpu.Options{Config: smallCfg(), Scheduler: core.NewRoundRobin(), Model: model},
 			launchingKernel(6, 3))
 		if res.KernelCount != 1+6 {
@@ -286,16 +286,9 @@ func TestResultStringMentionsScheduler(t *testing.T) {
 
 func TestAllSchedulersCompleteAllModels(t *testing.T) {
 	cfg := smallCfg()
-	mkScheds := func() []gpu.TBScheduler {
-		return []gpu.TBScheduler{
-			core.NewRoundRobin(),
-			core.NewTBPri(cfg.MaxPriorityLevels),
-			core.NewSMXBind(cfg.NumSMX, cfg.MaxPriorityLevels),
-			core.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels),
-		}
-	}
-	for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
-		for _, sched := range mkScheds() {
+	for _, model := range gpu.Models() {
+		for _, info := range core.Schedulers() {
+			sched := info.New(cfg)
 			res := run(t, gpu.Options{Config: cfg, Scheduler: sched, Model: model},
 				launchingKernel(8, 3))
 			if want := 8 + 8*3; res.BlockCount != want {

@@ -283,14 +283,10 @@ func TestAuditCleanAcrossSchedulersAndModels(t *testing.T) {
 	cfg := config.SmallTest()
 	cfg.DTBLAggBufferEntries = 4
 	cfg.KMUPendingCapacity = 4
-	for _, model := range []gpu.Model{gpu.CDP, gpu.DTBL} {
-		for _, mk := range []func() gpu.TBScheduler{
-			func() gpu.TBScheduler { return core.NewRoundRobin() },
-			func() gpu.TBScheduler { return core.NewTBPri(cfg.MaxPriorityLevels) },
-			func() gpu.TBScheduler { return core.NewSMXBind(cfg.NumSMX, cfg.MaxPriorityLevels) },
-			func() gpu.TBScheduler { return core.NewAdaptiveBind(cfg.NumSMX, cfg.MaxPriorityLevels) },
-		} {
-			sched := mk()
+	cfg.PMKTaskQueueEntries = 4
+	for _, model := range gpu.Models() {
+		for _, info := range core.Schedulers() {
+			sched := info.New(&cfg)
 			sim := gpu.MustNew(gpu.Options{
 				Config:           &cfg,
 				Scheduler:        sched,

@@ -1,0 +1,191 @@
+package gpu
+
+// The launch-model registry. A dynamic-parallelism model used to be a bare
+// enum with `s.model == DTBL` branches scattered through the engine; it is
+// now a registry entry owning a LaunchPath descriptor, computed once per
+// simulator, that the launch path consults instead of branching on the model
+// identity. internal/spec, internal/exp, the facade, and the CLIs enumerate
+// and validate model names against this registry, so adding a model is one
+// RegisterModel call (plus whatever configuration it reads) — no switch
+// statements to chase.
+
+import (
+	"fmt"
+
+	"laperm/internal/config"
+)
+
+// Model is a handle into the launch-model registry, selecting the
+// dynamic-parallelism launch mechanism. The zero value is CDP.
+type Model int
+
+// The built-in launch models, in the paper's presentation order. PMK is the
+// persistent-microkernel extension; CDP and DTBL are the two models the
+// paper evaluates.
+const (
+	// CDP launches children as device kernels routed SMX -> KMU -> KDU,
+	// paying the full device-kernel launch latency and competing for the
+	// 32 KDU entries.
+	CDP Model = iota
+	// DTBL launches children as lightweight thread-block groups that are
+	// coalesced onto the kernel distributor and are always visible to
+	// the TB scheduler.
+	DTBL
+	// PMK launches children through a persistent microkernel: scheduler
+	// warps resident on each SMX consume a device-side task queue, so a
+	// child never round-trips through the KMU at all. Modeled after
+	// GPU-microkernel runtimes (see DESIGN.md §14).
+	PMK
+)
+
+// LaunchPath describes how a model routes device-side child launches. The
+// engine computes one per simulator (from the model's descriptor and the GPU
+// configuration) and consults it on every launch instruction; host kernels
+// always take the KMU path regardless of model.
+type LaunchPath struct {
+	// Direct routes children straight to the TB scheduler after Latency
+	// cycles, bypassing the KMU and KDU. False means the KMU path: the
+	// child pays the CDP launch latency, competes for KDU entries, and is
+	// bounded by KMUPendingCapacity.
+	Direct bool
+	// Queue names the direct pool in backpressure trace events ("agg" for
+	// the DTBL aggregation buffer, "taskq" for the PMK task queue).
+	Queue string
+	// Capacity bounds the direct pool: entries are held from the launch
+	// instruction until the child's last thread block dispatches. 0 means
+	// unbounded.
+	Capacity int
+	// Latency is the direct path's launch latency in cycles.
+	Latency int
+	// OverflowToKMU demotes a launch that finds the direct pool full to
+	// the KMU path (paying the CDP latency) instead of stalling the
+	// launching warp.
+	OverflowToKMU bool
+}
+
+// ModelInfo describes one registered launch model.
+type ModelInfo struct {
+	// Name is the model's registry key ("cdp"), used in specs, CLIs, CSV
+	// columns, and error messages.
+	Name string
+	// Description is a one-line summary for -h output and README tables.
+	Description string
+	// Path computes the model's child-launch path for a configuration.
+	// It must be a pure function of cfg: equal configurations must yield
+	// equal paths, or runs stop being reproducible from their RunSpec.
+	Path func(cfg *config.GPU) LaunchPath
+}
+
+// modelRegistry holds every registered model in registration order; a Model
+// value indexes it. The built-ins are registered here rather than in init so
+// the order is explicit and the Model constants provably match their slots.
+var modelRegistry = []ModelInfo{
+	CDP: {
+		Name:        "cdp",
+		Description: "CUDA Dynamic Parallelism: children are device kernels routed SMX -> KMU -> KDU",
+		Path: func(cfg *config.GPU) LaunchPath {
+			return LaunchPath{Direct: false}
+		},
+	},
+	DTBL: {
+		Name:        "dtbl",
+		Description: "Dynamic Thread Block Launch: children are TB groups coalesced onto the distributor via the aggregation buffer",
+		Path: func(cfg *config.GPU) LaunchPath {
+			return LaunchPath{
+				Direct:        true,
+				Queue:         "agg",
+				Capacity:      cfg.DTBLAggBufferEntries,
+				Latency:       cfg.DTBLLaunchLatency,
+				OverflowToKMU: cfg.DTBLOverflowPolicy == config.DropToKMU,
+			}
+		},
+	},
+	PMK: {
+		Name:        "pmk",
+		Description: "persistent microkernel: resident scheduler warps consume a device-side task queue, no KMU round-trip",
+		Path: func(cfg *config.GPU) LaunchPath {
+			return LaunchPath{
+				Direct:   true,
+				Queue:    "taskq",
+				Capacity: cfg.PMKTaskQueueEntries,
+				Latency:  cfg.PMKLaunchLatency,
+				// The task queue is a memory-backed ring consumed by
+				// the resident scheduler warps; a producer that finds
+				// it full spins until an entry frees. There is no
+				// KMU to demote to — the microkernel never talks to
+				// it.
+				OverflowToKMU: false,
+			}
+		},
+	},
+}
+
+// RegisterModel adds a launch model to the registry and returns its handle.
+// It panics on a duplicate or empty name or a nil Path — registration is an
+// init-time programming act, not a runtime input. Registration order is
+// enumeration order everywhere (specs, matrices, CSVs, goldens).
+func RegisterModel(info ModelInfo) Model {
+	if info.Name == "" {
+		panic("gpu: RegisterModel with empty name")
+	}
+	if info.Path == nil {
+		panic(fmt.Sprintf("gpu: RegisterModel(%q) with nil Path", info.Name))
+	}
+	if _, ok := ModelByName(info.Name); ok {
+		panic(fmt.Sprintf("gpu: RegisterModel(%q) duplicates a registered model", info.Name))
+	}
+	modelRegistry = append(modelRegistry, info)
+	return Model(len(modelRegistry) - 1)
+}
+
+// Models returns every registered model handle in registration order. The
+// slice is fresh; callers may keep or mutate it.
+func Models() []Model {
+	ms := make([]Model, len(modelRegistry))
+	for i := range ms {
+		ms[i] = Model(i)
+	}
+	return ms
+}
+
+// ModelInfos returns every registered model's descriptor in registration
+// order, for enumerating names and descriptions (CLIs, README tables).
+func ModelInfos() []ModelInfo {
+	return append([]ModelInfo(nil), modelRegistry...)
+}
+
+// ModelNames returns every registered model name in registration order.
+func ModelNames() []string {
+	names := make([]string, len(modelRegistry))
+	for i, info := range modelRegistry {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// ModelByName resolves a model name against the registry.
+func ModelByName(name string) (Model, bool) {
+	for i, info := range modelRegistry {
+		if info.Name == name {
+			return Model(i), true
+		}
+	}
+	return 0, false
+}
+
+// Info returns the model's registry entry, or false for a handle outside the
+// registry.
+func (m Model) Info() (ModelInfo, bool) {
+	if m < 0 || int(m) >= len(modelRegistry) {
+		return ModelInfo{}, false
+	}
+	return modelRegistry[m], true
+}
+
+// String returns the registered model name.
+func (m Model) String() string {
+	if info, ok := m.Info(); ok {
+		return info.Name
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}

@@ -73,10 +73,11 @@ type RunSpec struct {
 	Workload string `json:"workload"`
 	// Scale is the workload size: "tiny", "small" (default), "medium".
 	Scale string `json:"scale,omitempty"`
-	// Model is the dynamic-parallelism model: "cdp" or "dtbl" (default).
+	// Model is a registered dynamic-parallelism model name
+	// (gpu.ModelNames); "dtbl" is the default.
 	Model string `json:"model,omitempty"`
-	// Scheduler is the TB scheduler name: "rr", "tb-pri", "smx-bind",
-	// "adaptive-bind" (default).
+	// Scheduler is a registered TB scheduler name (core.SchedulerNames);
+	// "adaptive-bind" is the default.
 	Scheduler string `json:"scheduler,omitempty"`
 	// SchedulerParams tunes the scheduler; nil means all defaults.
 	SchedulerParams *SchedulerParams `json:"scheduler_params,omitempty"`
@@ -150,8 +151,8 @@ func (s RunSpec) Validate() error {
 	if _, err := ParseModel(n.Model); err != nil {
 		return err
 	}
-	if !knownScheduler(n.Scheduler) {
-		return fmt.Errorf("spec: unknown scheduler %q (valid: %v)", n.Scheduler, SchedulerNames)
+	if _, ok := core.SchedulerByName(n.Scheduler); !ok {
+		return fmt.Errorf("spec: unknown scheduler %q (valid: %v)", n.Scheduler, SchedulerNames())
 	}
 	if _, err := ParseWarpPolicy(n.WarpPolicy); err != nil {
 		return err
@@ -285,33 +286,18 @@ func (s RunSpec) BuildWith(customize func(*gpu.Options)) (*gpu.Simulator, kernel
 	return sim, w, nil
 }
 
-// SchedulerNames lists the valid TB scheduler names in the paper's order.
-var SchedulerNames = []string{"rr", "tb-pri", "smx-bind", "adaptive-bind"}
-
-func knownScheduler(name string) bool {
-	for _, n := range SchedulerNames {
-		if n == name {
-			return true
-		}
-	}
-	return false
-}
+// SchedulerNames lists the valid TB scheduler names in registry order.
+func SchedulerNames() []string { return core.SchedulerNames() }
 
 // NewScheduler builds the named TB scheduler for the given configuration —
-// the one scheduler factory shared by the experiment harness, the CLIs, and
-// the service.
+// a thin veneer over the core scheduler registry that keeps spec's error
+// vocabulary.
 func NewScheduler(name string, cfg *config.GPU) (gpu.TBScheduler, error) {
-	switch name {
-	case "rr":
-		return core.NewRoundRobin(), nil
-	case "tb-pri":
-		return core.NewTBPri(cfg.MaxPriorityLevels), nil
-	case "smx-bind":
-		return core.NewSMXBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels), nil
-	case "adaptive-bind":
-		return core.NewAdaptiveBindClusters(cfg.NumSMX, cfg.SMXsPerCluster, cfg.MaxPriorityLevels), nil
+	info, ok := core.SchedulerByName(name)
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown scheduler %q (valid: %v)", name, SchedulerNames())
 	}
-	return nil, fmt.Errorf("spec: unknown scheduler %q (valid: %v)", name, SchedulerNames)
+	return info.New(cfg), nil
 }
 
 // ParseScale maps a scale name to its kernels.Scale.
@@ -327,15 +313,13 @@ func ParseScale(name string) (kernels.Scale, error) {
 	return 0, fmt.Errorf("spec: unknown scale %q (valid: tiny, small, medium)", name)
 }
 
-// ParseModel maps a model name to its gpu.Model.
+// ParseModel resolves a launch-model name against the gpu model registry.
 func ParseModel(name string) (gpu.Model, error) {
-	switch name {
-	case "cdp":
-		return gpu.CDP, nil
-	case "dtbl":
-		return gpu.DTBL, nil
+	m, ok := gpu.ModelByName(name)
+	if !ok {
+		return 0, fmt.Errorf("spec: unknown model %q (valid: %v)", name, gpu.ModelNames())
 	}
-	return 0, fmt.Errorf("spec: unknown model %q (valid: cdp, dtbl)", name)
+	return m, nil
 }
 
 // ParseWarpPolicy maps a warp-policy name to its smx.Policy.

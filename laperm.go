@@ -128,6 +128,15 @@ type (
 	RunSpec = spec.RunSpec
 	// SchedulerParams tunes the scheduler named in a RunSpec.
 	SchedulerParams = spec.SchedulerParams
+	// SchedulerInfo describes one entry of the scheduler registry: name,
+	// description, metadata flags, and factory.
+	SchedulerInfo = core.SchedulerInfo
+	// ModelInfo describes one entry of the launch-model registry: name,
+	// description, and launch-path descriptor.
+	ModelInfo = gpu.ModelInfo
+	// LaunchPath describes how a launch model routes device-side child
+	// launches (direct pool vs KMU, capacity, latency, overflow policy).
+	LaunchPath = gpu.LaunchPath
 )
 
 // CurrentSpecVersion is the RunSpec schema version this build writes and the
@@ -166,6 +175,9 @@ const (
 	CDP = gpu.CDP
 	// DTBL launches children as lightweight thread-block groups.
 	DTBL = gpu.DTBL
+	// PMK launches children through a persistent microkernel's device-side
+	// task queue, bypassing the KMU entirely.
+	PMK = gpu.PMK
 )
 
 // Workload scales.
@@ -207,11 +219,35 @@ func NewAdaptiveBind(numSMX, maxLevels int) Scheduler {
 	return core.NewAdaptiveBind(numSMX, maxLevels)
 }
 
-// NewScheduler builds a scheduler by its evaluation name ("rr", "tb-pri",
-// "smx-bind", "adaptive-bind").
+// NewWorkSteal returns the work-stealing task-queue scheduler: per-SMX
+// deques, owner pops newest, thieves steal oldest in cluster-distance order.
+func NewWorkSteal(numSMX int) Scheduler { return core.NewWorkSteal(numSMX) }
+
+// NewScheduler builds a scheduler by its registered name (see
+// SchedulerNames).
 func NewScheduler(name string, cfg *Config) (Scheduler, error) {
 	return exp.NewScheduler(name, cfg)
 }
+
+// Schedulers returns every registered TB scheduling policy's descriptor, in
+// registration order.
+func Schedulers() []SchedulerInfo { return core.Schedulers() }
+
+// SchedulerNames returns every registered TB scheduler name, in registration
+// order.
+func SchedulerNames() []string { return core.SchedulerNames() }
+
+// Models returns every registered launch-model handle, in registration
+// order.
+func Models() []Model { return gpu.Models() }
+
+// ModelInfos returns every registered launch model's descriptor, in
+// registration order.
+func ModelInfos() []ModelInfo { return gpu.ModelInfos() }
+
+// ModelNames returns every registered launch-model name, in registration
+// order.
+func ModelNames() []string { return gpu.ModelNames() }
 
 // Workloads returns every Table II workload.
 func Workloads() []Workload { return kernels.All() }

@@ -1,0 +1,82 @@
+package laperm_test
+
+// The README's scheduler and launch-model tables claim to be derived from
+// the registries; this test makes that claim true. Every registered entry
+// must have a table row carrying its exact registry description, and the
+// scheduler rows' ✓/— flag columns must match the registry metadata, so
+// registering a policy without documenting it (or documenting behaviour the
+// registry does not declare) fails the build.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"laperm"
+)
+
+// readmeRow finds the table row for a registry name and returns its cells
+// (trimmed, excluding the leading name cell).
+func readmeRow(t *testing.T, readme, name string) []string {
+	t.Helper()
+	prefix := fmt.Sprintf("| `%s` |", name)
+	for _, line := range strings.Split(readme, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(cells[i])
+		}
+		return cells[1:] // drop the name cell
+	}
+	t.Fatalf("README.md has no table row for registered name %q", name)
+	return nil
+}
+
+func flagCell(on bool) string {
+	if on {
+		return "✓"
+	}
+	return "—"
+}
+
+func TestReadmeTablesMatchRegistries(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+
+	for _, info := range laperm.Schedulers() {
+		row := readmeRow(t, readme, info.Name)
+		if len(row) != 4 {
+			t.Errorf("%s: row has %d cells, want 4 (child-first, binding, strict, description)", info.Name, len(row))
+			continue
+		}
+		if row[0] != flagCell(info.ChildFirst) {
+			t.Errorf("%s: child-first cell %q, registry says %v", info.Name, row[0], info.ChildFirst)
+		}
+		if row[1] != flagCell(info.Binding) {
+			t.Errorf("%s: SMX-binding cell %q, registry says %v", info.Name, row[1], info.Binding)
+		}
+		if row[2] != flagCell(info.StrictBinding) {
+			t.Errorf("%s: strict cell %q, registry says %v", info.Name, row[2], info.StrictBinding)
+		}
+		if row[3] != info.Description {
+			t.Errorf("%s: description cell %q differs from registry description %q", info.Name, row[3], info.Description)
+		}
+	}
+
+	for _, info := range laperm.ModelInfos() {
+		row := readmeRow(t, readme, info.Name)
+		if len(row) != 1 {
+			t.Errorf("%s: row has %d cells, want 1 (description)", info.Name, len(row))
+			continue
+		}
+		if row[0] != info.Description {
+			t.Errorf("%s: description cell %q differs from registry description %q", info.Name, row[0], info.Description)
+		}
+	}
+}
