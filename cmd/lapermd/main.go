@@ -67,6 +67,9 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 256, "max queued-but-unstarted runs before submissions are shed with 429")
 	jobDeadline := flag.Duration("job-deadline", 0, "per-run wall-clock budget (0 = unlimited)")
 	maxCycles := flag.Uint64("max-cycles", 0, "per-run simulated-cycle cap (0 = none)")
+	maxSweepCells := flag.Int("max-sweep-cells", 0, "per-sweep expanded-cell cap accepted by /v1/sweeps (0 = the spec-level limit only)")
+	sweepRPS := flag.Float64("sweep-rps", 0, "per-tenant sweep submissions per second before 429 (0 = unlimited)")
+	sweepBurst := flag.Int("sweep-burst", 0, "per-tenant sweep submission burst on top of -sweep-rps (0 = 1)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight runs are canceled")
 	retryLimit := flag.Int("retry-limit", 0, "transient-failure retries per run before it fails (0 = default 2, negative = disabled)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
@@ -114,6 +117,9 @@ func main() {
 		QueueDepth:    *queueDepth,
 		JobDeadline:   *jobDeadline,
 		MaxCycles:     *maxCycles,
+		MaxSweepCells: *maxSweepCells,
+		SweepRPS:      *sweepRPS,
+		SweepBurst:    *sweepBurst,
 		RetryLimit:    *retryLimit,
 		Faults:        reg,
 		Logger:        logger,

@@ -82,15 +82,45 @@ func (e *RunFailedError) Error() string {
 	return fmt.Sprintf("client: run %s failed (%s): %s", e.ID, e.Kind, e.Message)
 }
 
+// APIError is the server's unified JSON error envelope, attached to every
+// non-2xx response: a stable machine-readable kind, a human message, and
+// the retry contract.
+type APIError struct {
+	Kind           string   `json:"kind"`
+	Message        string   `json:"message"`
+	Retryable      bool     `json:"retryable"`
+	RetryAfterSec  int      `json:"retry_after,omitempty"`
+	ValidWorkloads []string `json:"valid_workloads,omitempty"`
+}
+
 // StatusError is a non-2xx HTTP response that was not retried to success.
 type StatusError struct {
 	Code int
 	Body string
+	// API is the parsed error envelope; zero-valued when the body was not
+	// an envelope (a proxy's HTML error page, a truncated response).
+	API APIError
 	// retryAfter carries the server's Retry-After hint as a backoff floor.
 	retryAfter time.Duration
 }
 
+// newStatusError parses the envelope out of an error response. The
+// Retry-After header wins over the envelope's retry_after; either floors
+// the client's backoff.
+func newStatusError(code int, body []byte, h http.Header) *StatusError {
+	e := &StatusError{Code: code, Body: string(body)}
+	_ = json.Unmarshal(body, &e.API)
+	e.retryAfter = parseRetryAfter(h)
+	if e.retryAfter == 0 && e.API.RetryAfterSec > 0 {
+		e.retryAfter = time.Duration(e.API.RetryAfterSec) * time.Second
+	}
+	return e
+}
+
 func (e *StatusError) Error() string {
+	if e.API.Kind != "" {
+		return fmt.Sprintf("client: server returned %d (%s): %s", e.Code, e.API.Kind, e.API.Message)
+	}
 	return fmt.Sprintf("client: server returned %d: %s", e.Code, strings.TrimSpace(e.Body))
 }
 
@@ -294,8 +324,7 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, he
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
-			lastErr = &StatusError{Code: resp.StatusCode, Body: string(data),
-				retryAfter: parseRetryAfter(resp.Header)}
+			lastErr = newStatusError(resp.StatusCode, data, resp.Header)
 			continue
 		}
 		return resp.StatusCode, resp.Header, data, nil
@@ -319,12 +348,12 @@ func (c *Client) SubmitRaw(ctx context.Context, specJSON []byte) (RunView, error
 }
 
 func (c *Client) submitRaw(ctx context.Context, payload []byte) (RunView, error) {
-	code, _, data, err := c.do(ctx, http.MethodPost, "/v1/runs", payload, nil)
+	code, hdr, data, err := c.do(ctx, http.MethodPost, "/v1/runs", payload, nil)
 	if err != nil {
 		return RunView{}, err
 	}
 	if code != http.StatusOK && code != http.StatusAccepted {
-		return RunView{}, &StatusError{Code: code, Body: string(data)}
+		return RunView{}, newStatusError(code, data, hdr)
 	}
 	var v RunView
 	if err := json.Unmarshal(data, &v); err != nil {
@@ -335,12 +364,12 @@ func (c *Client) submitRaw(ctx context.Context, payload []byte) (RunView, error)
 
 // Status fetches a run's current view.
 func (c *Client) Status(ctx context.Context, id string) (RunView, error) {
-	code, _, data, err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, nil)
+	code, hdr, data, err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, nil)
 	if err != nil {
 		return RunView{}, err
 	}
 	if code != http.StatusOK {
-		return RunView{}, &StatusError{Code: code, Body: string(data)}
+		return RunView{}, newStatusError(code, data, hdr)
 	}
 	var v RunView
 	if err := json.Unmarshal(data, &v); err != nil {
@@ -351,12 +380,12 @@ func (c *Client) Status(ctx context.Context, id string) (RunView, error) {
 
 // Artifact fetches one artifact of a completed run.
 func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
-	code, _, data, err := c.do(ctx, http.MethodGet, "/v1/artifacts/"+id+"/"+name, nil, nil)
+	code, hdr, data, err := c.do(ctx, http.MethodGet, "/v1/artifacts/"+id+"/"+name, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	if code != http.StatusOK {
-		return nil, &StatusError{Code: code, Body: string(data)}
+		return nil, newStatusError(code, data, hdr)
 	}
 	return data, nil
 }
@@ -419,7 +448,7 @@ func (c *Client) WatchEvents(ctx context.Context, id string, handler func(SSEEve
 	var lastID uint64
 	tears := 0
 	for {
-		delivered, terminal, err := c.streamOnce(ctx, id, &lastID, handler)
+		delivered, terminal, err := c.streamOnce(ctx, "/v1/runs/"+id+"/events", &lastID, handler)
 		if err != nil {
 			return err
 		}
@@ -444,8 +473,8 @@ func (c *Client) WatchEvents(ctx context.Context, id string, handler func(SSEEve
 
 // streamOnce runs one SSE connection until the stream ends, delivering
 // complete frames to handler and advancing *lastID.
-func (c *Client) streamOnce(ctx context.Context, id string, lastID *uint64, handler func(SSEEvent) error) (delivered int, terminal bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/runs/"+id+"/events", nil)
+func (c *Client) streamOnce(ctx context.Context, path string, lastID *uint64, handler func(SSEEvent) error) (delivered int, terminal bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return 0, false, err
 	}
@@ -462,7 +491,7 @@ func (c *Client) streamOnce(ctx context.Context, id string, lastID *uint64, hand
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
-		return 0, false, &StatusError{Code: resp.StatusCode, Body: string(body)}
+		return 0, false, newStatusError(resp.StatusCode, body, resp.Header)
 	}
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)

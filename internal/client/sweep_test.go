@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"laperm/internal/spec"
+)
+
+func testSweepSpec() spec.SweepSpec {
+	return spec.SweepSpec{
+		Base: spec.RunSpec{Scale: "tiny"},
+		Axes: []spec.SweepAxis{{
+			Field:  "workload",
+			Values: []json.RawMessage{json.RawMessage(`"amr"`), json.RawMessage(`"bht"`)},
+		}},
+	}
+}
+
+func writeSweepView(w http.ResponseWriter, status int, v SweepView) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// TestRunSweep: submit, poll to terminal, and return the full cell table.
+func TestRunSweep(t *testing.T) {
+	var polls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/sweeps":
+			writeSweepView(w, http.StatusAccepted, SweepView{ID: "sw1", State: "running", Cells: 2})
+		case r.URL.Path == "/v1/sweeps/sw1":
+			if polls.Add(1) < 3 {
+				writeSweepView(w, http.StatusOK, SweepView{ID: "sw1", State: "running", Cells: 2, Done: 1})
+				return
+			}
+			writeSweepView(w, http.StatusOK, SweepView{
+				ID: "sw1", State: "done", Cells: 2, Done: 2,
+				CellTable: []SweepCellView{
+					{Index: 0, RunID: "r0", State: "done", Source: "run"},
+					{Index: 1, RunID: "r1", State: "done", Source: "dedupe"},
+				},
+			})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(ts, nil)
+	v, err := c.RunSweep(context.Background(), testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != "done" || len(v.CellTable) != 2 {
+		t.Fatalf("final view = %+v, want done with 2 cells", v)
+	}
+	if v.CellTable[1].Source != "dedupe" {
+		t.Fatalf("cell table lost sources: %+v", v.CellTable)
+	}
+}
+
+// TestRunSweepFailed: a failed sweep surfaces as *SweepFailedError carrying
+// the server's structured kind.
+func TestRunSweepFailed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeSweepView(w, http.StatusOK, SweepView{
+			ID: "sw1", State: "failed", Error: "2 of 4 cells failed", ErrorKind: "error",
+		})
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(ts, nil)
+	_, err := c.RunSweep(context.Background(), testSweepSpec())
+	var sfe *SweepFailedError
+	if !errors.As(err, &sfe) {
+		t.Fatalf("err = %v, want *SweepFailedError", err)
+	}
+	if sfe.Kind != "error" || sfe.ID != "sw1" {
+		t.Fatalf("failure = %+v", sfe)
+	}
+}
+
+// TestErrorEnvelopeParsing: non-2xx bodies carrying the unified error
+// envelope surface their kind, retryability, and retry_after through
+// StatusError.
+func TestErrorEnvelopeParsing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{
+			"kind":            "bad-request",
+			"message":         "spec: unknown workload",
+			"retryable":       false,
+			"valid_workloads": []string{"amr", "bht"},
+		})
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(ts, nil)
+	_, err := c.SubmitSweep(context.Background(), testSweepSpec())
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StatusError", err)
+	}
+	if se.API.Kind != "bad-request" || se.API.Retryable {
+		t.Fatalf("parsed envelope = %+v", se.API)
+	}
+	if len(se.API.ValidWorkloads) != 2 {
+		t.Fatalf("envelope lost valid_workloads: %+v", se.API)
+	}
+}
+
+// TestWatchSweepResumes: a torn sweep stream reconnects with Last-Event-ID
+// and the handler sees each event exactly once.
+func TestWatchSweepResumes(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Error("first connect sent a Last-Event-ID")
+			}
+			// One cell event, then tear mid-stream.
+			w.Write([]byte("id: 1\nevent: cell\ndata: {\"index\":0}\n\n"))
+		default:
+			if r.Header.Get("Last-Event-ID") != "1" {
+				t.Errorf("reconnect Last-Event-ID = %q, want 1", r.Header.Get("Last-Event-ID"))
+			}
+			w.Write([]byte("id: 2\nevent: cell\ndata: {\"index\":1}\n\n"))
+			w.Write([]byte("id: 3\nevent: state\ndata: {\"state\":\"done\"}\n\n"))
+		}
+	}))
+	defer ts.Close()
+
+	c, _ := newClient(ts, nil)
+	var ids []uint64
+	err := c.WatchSweep(context.Background(), "sw1", func(ev SSEEvent) error {
+		ids = append(ids, ev.ID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("delivered ids = %v, want [1 2 3]", ids)
+	}
+}

@@ -137,6 +137,63 @@ func WriteMatrixCSV(m *Matrix, w io.Writer) error {
 	})
 }
 
+// CellRow is one sweep cell for WriteCellsCSV: the cell's content-addressed
+// run ID, its rendered axis values (aligned with the axes header), and the
+// completed result.
+type CellRow struct {
+	ID     string
+	Values []string
+	Result *gpu.Result
+}
+
+// WriteCellsCSV emits a sweep's aggregated results: one row per cell, the
+// axis-value columns first, then the same statistics WriteMatrixCSV
+// reports. Rows are emitted in the order given (a sweep's deterministic
+// expansion order), and because the engine is bit-deterministic the file is
+// byte-identical however the cells were obtained — fresh runs, deduped
+// cells, or cache hits. As with WriteMatrixCSV, w receives either the
+// complete file or nothing.
+func WriteCellsCSV(axes []string, rows []CellRow, w io.Writer) error {
+	return writeAtomic(w, func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		header := append([]string{"run_id"}, axes...)
+		header = append(header,
+			"cycles", "thread_insts", "ipc",
+			"l1_hit_rate", "l2_hit_rate", "dram_transactions",
+			"kernels", "dynamic_kernels", "blocks",
+			"avg_child_wait_cycles", "smx_load_imbalance",
+		)
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		f := func(x float64) string { return strconv.FormatFloat(x, 'f', 6, 64) }
+		for _, row := range rows {
+			if len(row.Values) != len(axes) {
+				return fmt.Errorf("exp: cell %s has %d axis values, want %d", row.ID, len(row.Values), len(axes))
+			}
+			if row.Result == nil {
+				return fmt.Errorf("exp: cell %s has no result", row.ID)
+			}
+			r := row.Result
+			out := append([]string{row.ID}, row.Values...)
+			out = append(out,
+				strconv.FormatUint(r.Cycles, 10),
+				strconv.FormatInt(r.ThreadInsts, 10),
+				f(r.IPC),
+				f(r.L1.HitRate()), f(r.L2.HitRate()),
+				strconv.FormatInt(r.DRAMTransactions, 10),
+				strconv.Itoa(r.KernelCount), strconv.Itoa(r.DynamicKernelCount), strconv.Itoa(r.BlockCount),
+				f(r.AvgChildWait), f(r.LoadImbalance),
+			)
+			if err := cw.Write(out); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	})
+}
+
 // WriteFootprintCSV emits the Figure 2 analysis as CSV, running the
 // per-workload analyses on the Options' pool. As with WriteMatrixCSV, w
 // receives either the complete file or nothing.

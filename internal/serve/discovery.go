@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"laperm/internal/core"
+	"laperm/internal/gpu"
+	"laperm/internal/kernels"
+	"laperm/internal/spec"
+)
+
+// Discovery endpoints: the registries, rendered as JSON, so clients build
+// valid RunSpecs and SweepSpecs without hardcoding name lists. Everything
+// here derives from the same registries spec.Validate checks against —
+// a name listed here is by construction a name the server accepts.
+
+// workloadView is one /v1/workloads row.
+type workloadView struct {
+	Name  string `json:"name"`
+	App   string `json:"app"`
+	Input string `json:"input"`
+}
+
+// schedulerView is one /v1/schedulers row.
+type schedulerView struct {
+	Name          string `json:"name"`
+	Description   string `json:"description"`
+	IdleAware     bool   `json:"idle_aware"`
+	Binding       bool   `json:"binding"`
+	StrictBinding bool   `json:"strict_binding"`
+	ChildFirst    bool   `json:"child_first"`
+}
+
+// modelView is one /v1/models row.
+type modelView struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// discoveryView wraps each listing with the other spec vocabulary a client
+// needs (scales, warp policies, sweepable axis fields), so one round trip
+// is enough to construct any spec.
+type discoveryView[T any] struct {
+	Items      []T      `json:"items"`
+	Scales     []string `json:"scales,omitempty"`
+	WarpPolicy []string `json:"warp_policies,omitempty"`
+	AxisFields []string `json:"axis_fields,omitempty"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	all := kernels.All()
+	items := make([]workloadView, len(all))
+	for i, wk := range all {
+		items[i] = workloadView{Name: wk.Name, App: wk.App, Input: wk.Input}
+	}
+	writeJSON(w, http.StatusOK, discoveryView[workloadView]{
+		Items:      items,
+		Scales:     []string{"tiny", "small", "medium"},
+		WarpPolicy: []string{"gto", "lrr"},
+		AxisFields: spec.AxisFields(),
+	})
+}
+
+func (s *Server) handleSchedulers(w http.ResponseWriter, r *http.Request) {
+	all := core.Schedulers()
+	items := make([]schedulerView, len(all))
+	for i, info := range all {
+		items[i] = schedulerView{
+			Name: info.Name, Description: info.Description,
+			IdleAware: info.IdleAware, Binding: info.Binding,
+			StrictBinding: info.StrictBinding, ChildFirst: info.ChildFirst,
+		}
+	}
+	writeJSON(w, http.StatusOK, discoveryView[schedulerView]{Items: items})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	all := gpu.ModelInfos()
+	items := make([]modelView, len(all))
+	for i, info := range all {
+		items[i] = modelView{Name: info.Name, Description: info.Description}
+	}
+	writeJSON(w, http.StatusOK, discoveryView[modelView]{Items: items})
+}
+
+// runsListView is the GET /v1/runs payload: one page of jobs in submission
+// order, plus the cursor for the next page ("" when this is the last).
+type runsListView struct {
+	Runs       []jobView `json:"runs"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+	Total      int       `json:"total"`
+}
+
+// maxRunsPage bounds one listing page.
+const maxRunsPage = 500
+
+// handleRunsList serves GET /v1/runs: the in-process job table, ordered by
+// first registration, filtered by ?state= (queued|running|done|failed) and
+// paginated by ?cursor= / ?limit=. The cursor is the last-seen sequence
+// number — stable under concurrent submissions, since sequence numbers only
+// grow and a job's never changes.
+func (s *Server) handleRunsList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var stateFilter State
+	if v := q.Get("state"); v != "" {
+		switch State(v) {
+		case StateQueued, StateRunning, StateDone, StateFailed:
+			stateFilter = State(v)
+		default:
+			badRequest(w, fmt.Errorf("serve: unknown state filter %q (valid: %s, %s, %s, %s)",
+				v, StateQueued, StateRunning, StateDone, StateFailed))
+			return
+		}
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			badRequest(w, fmt.Errorf("serve: bad limit %q", v))
+			return
+		}
+		limit = min(n, maxRunsPage)
+	}
+	var cursor uint64
+	if v := q.Get("cursor"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			badRequest(w, fmt.Errorf("serve: bad cursor %q", v))
+			return
+		}
+		cursor = n
+	}
+
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+
+	view := runsListView{Runs: []jobView{}}
+	var lastSeq uint64
+	truncated := false
+	for _, j := range jobs {
+		jv := j.view(nil)
+		if stateFilter != "" && jv.State != stateFilter {
+			continue
+		}
+		view.Total++
+		if j.seq <= cursor {
+			continue
+		}
+		if len(view.Runs) >= limit {
+			truncated = true
+			continue
+		}
+		view.Runs = append(view.Runs, jv)
+		lastSeq = j.seq
+	}
+	if truncated {
+		view.NextCursor = strconv.FormatUint(lastSeq, 10)
+	}
+	writeJSON(w, http.StatusOK, view)
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"sync"
 	"time"
 
 	"laperm/internal/exp"
@@ -14,7 +13,7 @@ import (
 	"laperm/internal/telemetry"
 )
 
-// State is a job's position in its lifecycle.
+// State is a job's (or sweep's) position in its lifecycle.
 type State string
 
 // Job states, in lifecycle order. A job is terminal in StateDone or
@@ -82,30 +81,22 @@ func retryableKind(kind string) bool {
 	return kind == KindTransient || kind == KindPanic
 }
 
-// Event is one SSE payload: a state transition, a retry notice, a batch
-// progress tick, or a timeline sample from the running simulation. ID is the
-// job-scoped monotonic SSE id; clients resume a dropped stream by replaying
-// everything after their Last-Event-ID.
-type Event struct {
-	ID   uint64
-	Type string // "state", "retry", "progress", "sample"
-	Data any
-}
-
-// eventHistoryCap bounds each job's replay ring. A tiny run emits a handful
-// of state transitions plus its timeline samples; 1024 comfortably covers a
-// reconnect window without letting a sample-heavy run grow without bound.
-const eventHistoryCap = 1024
-
 // Job is one submitted run, keyed by its spec hash. All mutable fields are
-// guarded by mu; subscribers receive Events until the job reaches a terminal
-// state, at which point their channels are closed.
+// guarded by the embedded hub's mutex (promoted as j.mu); subscribers
+// receive Events until the job reaches a terminal state, at which point
+// their channels are closed.
 type Job struct {
 	// ID is the RunSpec content hash — run ID, coalescing key, and cache
 	// key are all the same string.
 	ID string
 	// Spec is the normalized submitted spec.
 	Spec spec.RunSpec
+
+	// flow is the fair-share flow the job was queued on: its tenant plus
+	// the sweep that first scheduled it ("" for direct submissions).
+	flow flowKey
+	// seq orders jobs by first registration — the /v1/runs listing cursor.
+	seq uint64
 
 	// flight is the job's flight recorder: wall-clock spans from submit to
 	// terminal state, served at /v1/runs/{id}/trace. Nil for cached jobs
@@ -115,30 +106,32 @@ type Job struct {
 	// job; enqueuedAt feeds the queue-wait histogram.
 	queueEnd   func()
 	enqueuedAt time.Time
-	// sseEvents / sseDropped, set at submit time, count event publishes and
-	// drops caused by lagging subscribers.
-	sseEvents  *telemetry.Counter
-	sseDropped *telemetry.Counter
 
-	mu        sync.Mutex
-	state     State
-	errMsg    string
-	errKind   string
-	cached    bool // result served from the cache without executing
-	coalesced int64
-	retries   int64
-	subs      map[chan Event]struct{}
-	lastID    uint64  // last SSE event id assigned
-	history   []Event // replay ring for Last-Event-ID resumes
+	hub
+	state   State
+	errMsg  string
+	errKind string
+	cached  bool // result served from the cache without executing
+	// singleton records that at least one direct /v1/runs submission wants
+	// this job; owners records the sweeps sharing it. A job with singleton
+	// set or more than one owner is "shared": sweep cancellation must not
+	// release it.
+	singleton bool
+	owners    map[string]struct{}
+	// onTerminal hooks run exactly once, after the terminal transition,
+	// outside the job lock — sweeps use them for cell accounting.
+	onTerminal []func(*Job)
+	coalesced  int64
+	retries    int64
 }
 
 func newJob(id string, sp spec.RunSpec) *Job {
-	return &Job{ID: id, Spec: sp, state: StateQueued, subs: make(map[chan Event]struct{})}
+	return &Job{ID: id, Spec: sp, state: StateQueued, hub: newHub()}
 }
 
 // newCachedJob materializes a job for a disk-cache hit: born terminal.
 func newCachedJob(id string, sp spec.RunSpec) *Job {
-	return &Job{ID: id, Spec: sp, state: StateDone, cached: true, subs: make(map[chan Event]struct{})}
+	return &Job{ID: id, Spec: sp, state: StateDone, cached: true, hub: newHub()}
 }
 
 // snapshot returns the job's current externally visible state.
@@ -164,6 +157,73 @@ func (j *Job) noteCoalesced() {
 	j.mu.Unlock()
 }
 
+// noteSingleton records a direct submission's claim on the job: it is no
+// longer exclusively owned by sweeps, so no sweep cancellation may release
+// it.
+func (j *Job) noteSingleton() {
+	j.mu.Lock()
+	j.singleton = true
+	j.mu.Unlock()
+}
+
+// addOwner records a sweep's claim on the job and reports whether the job
+// was already claimed by a different sweep or a direct submission —
+// i.e. whether this attachment is a cross-request dedupe.
+func (j *Job) addOwner(sweepID string) (shared bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	shared = j.singleton || len(j.owners) > 0
+	if j.owners == nil {
+		j.owners = make(map[string]struct{})
+	}
+	j.owners[sweepID] = struct{}{}
+	return shared
+}
+
+// sharedBeyond reports whether anyone other than the given sweep holds a
+// claim on the job — the test that gates cancellation.
+func (j *Job) sharedBeyond(sweepID string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.singleton {
+		return true
+	}
+	for owner := range j.owners {
+		if owner != sweepID {
+			return true
+		}
+	}
+	return false
+}
+
+// addTerminalHook registers fn to run once the job reaches a terminal
+// state, outside the job lock. If the job is already terminal, fn runs
+// immediately (on this goroutine).
+func (j *Job) addTerminalHook(fn func(*Job)) {
+	j.mu.Lock()
+	if j.terminalLocked() {
+		j.mu.Unlock()
+		fn(j)
+		return
+	}
+	j.onTerminal = append(j.onTerminal, fn)
+	j.mu.Unlock()
+}
+
+// takeHooksLocked claims the terminal hooks for the caller to run after
+// releasing the lock.
+func (j *Job) takeHooksLocked() []func(*Job) {
+	hooks := j.onTerminal
+	j.onTerminal = nil
+	return hooks
+}
+
+func (j *Job) runHooks(hooks []func(*Job)) {
+	for _, fn := range hooks {
+		fn(j)
+	}
+}
+
 // setRunning transitions queued -> running and notifies subscribers.
 func (j *Job) setRunning() {
 	j.mu.Lock()
@@ -173,19 +233,21 @@ func (j *Job) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish transitions to done, notifies subscribers, and closes their
-// channels.
+// finish transitions to done, notifies subscribers, closes their channels,
+// and fires the terminal hooks.
 func (j *Job) finish() {
 	j.mu.Lock()
 	j.state = StateDone
 	view := j.viewLocked(nil)
 	j.publishLocked(Event{Type: "state", Data: view})
 	j.closeSubsLocked()
+	hooks := j.takeHooksLocked()
 	j.mu.Unlock()
+	j.runHooks(hooks)
 }
 
 // fail transitions to failed with a classified error, notifies subscribers,
-// and closes their channels.
+// closes their channels, and fires the terminal hooks.
 func (j *Job) fail(kind string, err error) {
 	j.mu.Lock()
 	j.state = StateFailed
@@ -194,7 +256,9 @@ func (j *Job) fail(kind string, err error) {
 	view := j.viewLocked(nil)
 	j.publishLocked(Event{Type: "state", Data: view})
 	j.closeSubsLocked()
+	hooks := j.takeHooksLocked()
 	j.mu.Unlock()
+	j.runHooks(hooks)
 }
 
 // noteRetry counts one transparent re-execution after a transient failure.
@@ -204,59 +268,13 @@ func (j *Job) noteRetry() {
 	j.mu.Unlock()
 }
 
-// subscription is one SSE consumer's attachment to a job: the replay
-// backlog owed to it, its live channel, and the snapshot to open with.
-type subscription struct {
-	// backlog holds already-published events with ID > the subscriber's
-	// Last-Event-ID, replayed before any live event.
-	backlog []Event
-	// ch delivers live events; closed when the job is (or was already)
-	// terminal.
-	ch chan Event
-	// snap is the job view at subscribe time and lastID the newest event
-	// id assigned so far (0 if none).
-	snap   jobView
-	lastID uint64
-	// cancel unsubscribes.
-	cancel func()
-}
-
 // subscribeSince registers an event channel, replaying history after
-// afterID (0 means a fresh attach: no replay, snapshot only). The snapshot
-// and backlog are captured under the same lock acquisition that registers
-// the channel, so a subscriber sees every event exactly once: in the
-// backlog, or live, never both and never neither. If the job is already
-// terminal the channel comes back closed: backlog plus snapshot is all
-// there is.
+// afterID (0 means a fresh attach: no replay, snapshot only). See
+// hub.subscribeLocked for the exactly-once contract.
 func (j *Job) subscribeSince(afterID uint64) subscription {
-	sub := subscription{ch: make(chan Event, 64)}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	sub.snap = j.viewLocked(nil)
-	sub.lastID = j.lastID
-	if afterID > 0 {
-		for _, ev := range j.history {
-			if ev.ID > afterID {
-				sub.backlog = append(sub.backlog, ev)
-			}
-		}
-	}
-	if j.terminalLocked() {
-		close(sub.ch)
-		sub.cancel = func() {}
-		return sub
-	}
-	ch := sub.ch
-	j.subs[ch] = struct{}{}
-	sub.cancel = func() {
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		if _, ok := j.subs[ch]; ok {
-			delete(j.subs, ch)
-			close(ch)
-		}
-	}
-	return sub
+	return j.subscribeLocked(afterID, j.viewLocked(nil), j.terminalLocked())
 }
 
 // publish delivers an event to all subscribers, dropping it for any whose
@@ -265,35 +283,6 @@ func (j *Job) publish(ev Event) {
 	j.mu.Lock()
 	j.publishLocked(ev)
 	j.mu.Unlock()
-}
-
-func (j *Job) publishLocked(ev Event) {
-	j.lastID++
-	ev.ID = j.lastID
-	if len(j.history) >= eventHistoryCap {
-		// Drop the oldest half in one copy; reconnects older than the ring
-		// fall back to the snapshot path.
-		keep := j.history[len(j.history)-eventHistoryCap/2:]
-		j.history = append(make([]Event, 0, eventHistoryCap), keep...)
-	}
-	j.history = append(j.history, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-			j.sseEvents.Inc()
-		default:
-			// A slow SSE consumer must not stall the simulation; the drop
-			// is visible as subscriber lag in /metrics.
-			j.sseDropped.Inc()
-		}
-	}
-}
-
-func (j *Job) closeSubsLocked() {
-	for ch := range j.subs {
-		delete(j.subs, ch)
-		close(ch)
-	}
 }
 
 // jobView is the wire representation of a job returned by the submit and

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimits is a per-tenant token bucket over sweep submissions. Each
+// tenant accrues tokens at rps per second up to burst; a submission
+// consumes one. An empty bucket answers with how many whole seconds until
+// the next token — the Retry-After the 429 carries.
+type rateLimits struct {
+	mu      sync.Mutex
+	rps     float64
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimits builds the limiter; rps <= 0 disables limiting entirely.
+func newRateLimits(rps float64, burst int) *rateLimits {
+	if rps <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimits{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow consumes one token for tenant, reporting whether the submission may
+// proceed and, when it may not, the whole-second Retry-After to send. A nil
+// limiter allows everything.
+func (rl *rateLimits) Allow(tenant string) (ok bool, retryAfter int) {
+	if rl == nil {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rps)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / rl.rps
+	return false, int(math.Ceil(wait))
+}

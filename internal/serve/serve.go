@@ -109,6 +109,16 @@ type Config struct {
 	// lifecycle transition at Info, per-request access lines at Debug.
 	// Nil discards everything.
 	Logger *slog.Logger
+	// MaxSweepCells caps how many cells one sweep may expand to, below
+	// the spec-level spec.MaxSweepCells bound; <= 0 means the spec bound.
+	MaxSweepCells int
+	// SweepRPS rate-limits sweep submissions per tenant (token bucket,
+	// sustained sweeps per second); <= 0 means unlimited. Submissions over
+	// the limit get 429 with Retry-After.
+	SweepRPS float64
+	// SweepBurst is the per-tenant token-bucket burst; <= 0 means 1 (only
+	// meaningful when SweepRPS > 0).
+	SweepBurst int
 }
 
 // defaultRetryLimit is the number of transparent re-executions a job gets
@@ -142,8 +152,11 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	queue    chan *Job
+	sweeps   map[string]*Sweep
+	jobSeq   uint64 // listing-order sequence; next value, guarded by mu
 	draining bool
+	fq       *fairQueue
+	limits   *rateLimits
 
 	batchMu sync.Mutex
 	batch   []*Job
@@ -192,7 +205,9 @@ func New(cfg Config) (*Server, error) {
 		log:            logger,
 		flights:        telemetry.NewFlightRing(flightRingCap),
 		jobs:           make(map[string]*Job),
-		queue:          make(chan *Job, depth),
+		sweeps:         make(map[string]*Sweep),
+		fq:             newFairQueue(depth),
+		limits:         newRateLimits(cfg.SweepRPS, cfg.SweepBurst),
 		baseCtx:        ctx,
 		cancelBase:     cancel,
 		dispatcherDone: make(chan struct{}),
@@ -234,7 +249,7 @@ func (s *Server) closeQueue() {
 	defer s.mu.Unlock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.fq.Close()
 	}
 }
 
@@ -247,10 +262,20 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.instrument("/v1/runs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/runs", s.instrument("/v1/runs:list", s.handleRunsList))
 	mux.HandleFunc("GET /v1/runs/{id}", s.instrument("/v1/runs/{id}", s.handleStatus))
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.instrument("/v1/runs/{id}/events", s.handleEvents))
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.instrument("/v1/runs/{id}/trace", s.handleTrace))
 	mux.HandleFunc("GET /v1/artifacts/{id}/{name}", s.instrument("/v1/artifacts/{id}/{name}", s.handleArtifact))
+	mux.HandleFunc("POST /v1/sweeps", s.instrument("/v1/sweeps", s.handleSweepSubmit))
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.instrument("/v1/sweeps/{id}", s.handleSweepStatus))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.instrument("/v1/sweeps/{id}/events", s.handleSweepEvents))
+	mux.HandleFunc("POST /v1/sweeps/{id}/cancel", s.instrument("/v1/sweeps/{id}/cancel", s.handleSweepCancel))
+	mux.HandleFunc("GET /v1/sweeps/{id}/artifacts/{name}",
+		s.instrument("/v1/sweeps/{id}/artifacts/{name}", s.handleSweepArtifact))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /v1/schedulers", s.instrument("/v1/schedulers", s.handleSchedulers))
+	mux.HandleFunc("GET /v1/models", s.instrument("/v1/models", s.handleModels))
 	// Prometheus text exposition; the JSON view of the same registry
 	// stays at /metrics.json for humans and the smoke tests.
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetricsProm))
@@ -272,8 +297,8 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
-	saturated := len(s.queue) >= cap(s.queue)
 	s.mu.Unlock()
+	saturated := s.fq.SinglesSaturated()
 	switch {
 	case draining:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -285,9 +310,29 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
+// Wire error kinds shared by every endpoint: the envelope's "kind" field
+// classifies the failure so clients branch on a stable string, never on
+// message text.
+const (
+	ErrKindBadRequest  = "bad-request"   // 400: the request itself is wrong; retrying it verbatim cannot help
+	ErrKindNotFound    = "not-found"     // 404: no such run, sweep, or artifact
+	ErrKindRateLimited = "rate-limited"  // 429: shed or throttled; retry the idempotent request after retry_after
+	ErrKindDraining    = "draining"      // 503: this process is shutting down; go to another backend
+	ErrKindTransient   = "transient"     // 503: momentary server-side failure; retry after retry_after
+	ErrKindInternal    = "internal"      // 500: a bug, not a caller problem
+)
+
+// apiError is the one JSON error envelope every endpoint writes: a stable
+// kind, the human message, whether the same request may succeed on retry,
+// and (when retryable) how long to wait. internal/client parses exactly
+// this shape everywhere.
+type apiError struct {
+	Kind      string `json:"kind"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	// RetryAfterSec mirrors the Retry-After header for clients that only
+	// see the body.
+	RetryAfterSec int `json:"retry_after,omitempty"`
 	// ValidWorkloads is attached when the error was an unknown workload.
 	ValidWorkloads []string `json:"valid_workloads,omitempty"`
 }
@@ -300,13 +345,53 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	body := errorBody{Error: err.Error()}
+// writeAPIError writes the envelope; retryAfter > 0 also sets the
+// Retry-After header (before WriteHeader, necessarily).
+func writeAPIError(w http.ResponseWriter, status int, kind string, retryable bool, retryAfter int, err error) {
+	body := apiError{Kind: kind, Message: err.Error(), Retryable: retryable, RetryAfterSec: retryAfter}
 	var ue *kernels.UnknownWorkloadError
 	if errors.As(err, &ue) {
 		body.ValidWorkloads = ue.Known
 	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
 	writeJSON(w, status, body)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeAPIError(w, http.StatusBadRequest, ErrKindBadRequest, false, 0, err)
+}
+
+func notFound(w http.ResponseWriter, err error) {
+	writeAPIError(w, http.StatusNotFound, ErrKindNotFound, false, 0, err)
+}
+
+func rateLimited(w http.ResponseWriter, retryAfter int, err error) {
+	writeAPIError(w, http.StatusTooManyRequests, ErrKindRateLimited, true, retryAfter, err)
+}
+
+func draining(w http.ResponseWriter, err error) {
+	// Draining is terminal for this process: no Retry-After, not
+	// retryable here — clients should go elsewhere.
+	writeAPIError(w, http.StatusServiceUnavailable, ErrKindDraining, false, 0, err)
+}
+
+func transientErr(w http.ResponseWriter, err error) {
+	writeAPIError(w, http.StatusServiceUnavailable, ErrKindTransient, true, 1, err)
+}
+
+func internalErr(w http.ResponseWriter, err error) {
+	writeAPIError(w, http.StatusInternalServerError, ErrKindInternal, false, 0, err)
+}
+
+// tenantOf extracts the request's fair-share tenant: the X-Laperm-Tenant
+// header, defaulting to spec.DefaultTenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Laperm-Tenant"); t != "" {
+		return t
+	}
+	return spec.DefaultTenant
 }
 
 // handleSubmit accepts a RunSpec, resolves it to a job by content hash —
@@ -316,22 +401,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: read request: %w", err))
+		badRequest(w, fmt.Errorf("serve: read request: %w", err))
 		return
 	}
 	sp, err := spec.Parse(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	sp = sp.Normalized()
 	if err := sp.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	id, err := sp.Hash()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		badRequest(w, err)
 		return
 	}
 	s.tel.submissions.Inc()
@@ -339,15 +424,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// An injected submit failure models the server dying mid-accept:
 		// answered as a retryable 503 so clients back off and resubmit —
 		// idempotent by construction, since the content hash is the run ID.
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+		transientErr(w, err)
 		return
 	}
 
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok && j.State() != StateFailed {
 		// In-flight or finished in this process. Attaching to a live job
-		// is a coalesce; matching a done job is a cache hit.
+		// is a coalesce; matching a done job is a cache hit. Either way
+		// the job now carries a direct claim: a sweep that also owns it
+		// may no longer release it on cancellation.
+		j.noteSingleton()
 		if j.State() == StateDone {
 			s.tel.cacheHits.Inc()
 		} else {
@@ -366,8 +453,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// instead of answering from a poisoned entry.
 		if _, err := s.cache.ReadArtifact(id, ResultArtifact); err == nil {
 			s.tel.cacheHits.Inc()
-			j := newCachedJob(id, sp)
-			s.jobs[id] = j
+			j := s.registerLocked(newCachedJob(id, sp))
 			s.mu.Unlock()
 			s.respondJob(w, http.StatusOK, j)
 			return
@@ -375,13 +461,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tel.cacheMisses.Inc()
 	if s.draining {
-		// Draining is terminal for this process: 503 with no Retry-After,
-		// distinct from load shedding — clients should go elsewhere.
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining, not accepting new runs"))
+		draining(w, errors.New("serve: draining, not accepting new runs"))
 		return
 	}
 	j := newJob(id, sp)
+	j.noteSingleton()
+	j.flow = flowKey{tenant: tenantOf(r)}
 	j.sseEvents, j.sseDropped = s.tel.sseEvents, s.tel.sseDropped
 	j.flight = telemetry.NewFlight(id)
 	j.flight.Instant("job", "submit", map[string]string{
@@ -389,24 +475,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	j.enqueuedAt = time.Now()
 	j.queueEnd = j.flight.Start("job", "queue")
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.fq.Push(j, 1); err != nil {
+		s.mu.Unlock()
+		if errors.Is(err, errQueueClosed) {
+			draining(w, errors.New("serve: draining, not accepting new runs"))
+			return
+		}
 		// Load shedding: the queue is momentarily saturated. 429 with
 		// Retry-After tells well-behaved clients to back off and retry
 		// the same (idempotent) submission.
-		s.mu.Unlock()
 		s.tel.shed.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
+		rateLimited(w, 1,
 			fmt.Errorf("serve: launch queue full (%d queued), retry later", s.tel.queueDepth.Value()))
 		return
 	}
-	s.jobs[id] = j
+	s.registerLocked(j)
 	s.tel.queueDepth.Inc()
 	s.logTransition(j, "queued")
 	s.mu.Unlock()
 	s.respondJob(w, http.StatusAccepted, j)
+}
+
+// registerLocked adds a job to the registry under s.mu, assigning its
+// listing sequence number. Returns the registered job: the existing one if
+// the id is already present and live, the new one when the slot was empty
+// or held a failed record (failure is terminal — its hooks have fired and
+// resubmission is expected to supersede it).
+func (s *Server) registerLocked(j *Job) *Job {
+	if existing := s.jobs[j.ID]; existing != nil && existing.State() != StateFailed {
+		return existing
+	}
+	s.jobSeq++
+	j.seq = s.jobSeq
+	s.jobs[j.ID] = j
+	return j
 }
 
 // lookupJob resolves id to a job, materializing one for disk-only cache
@@ -429,11 +531,7 @@ func (s *Server) lookupJob(id string) *Job {
 	}
 	j = newCachedJob(id, sp)
 	s.mu.Lock()
-	if existing := s.jobs[id]; existing != nil {
-		j = existing
-	} else {
-		s.jobs[id] = j
-	}
+	j = s.registerLocked(j)
 	s.mu.Unlock()
 	return j
 }
@@ -455,7 +553,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookupJob(id)
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no run %q", id))
+		notFound(w, fmt.Errorf("serve: no run %q", id))
 		return
 	}
 	s.respondJob(w, http.StatusOK, j)
@@ -471,7 +569,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !known {
-		writeError(w, http.StatusNotFound,
+		notFound(w,
 			fmt.Errorf("serve: unknown artifact %q (valid: %v)", name, ArtifactNames))
 		return
 	}
@@ -482,11 +580,10 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		// discarded — is an honest miss the caller resolves by
 		// resubmitting the run.
 		if faults.IsInjected(err) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
+			transientErr(w, err)
 			return
 		}
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no artifact %s for run %q", name, id))
+		notFound(w, fmt.Errorf("serve: no artifact %s for run %q", name, id))
 		return
 	}
 	w.Header().Set("Content-Type", artifactContentType(name))
@@ -503,24 +600,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j := s.lookupJob(id)
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no run %q", id))
+		notFound(w, fmt.Errorf("serve: no run %q", id))
 		return
 	}
+	s.streamSSE(w, r, j.subscribeSince)
+}
+
+// streamSSE runs the SSE protocol over any stream (job or sweep): snapshot
+// or backlog replay per Last-Event-ID, then live events until the stream
+// ends or the client goes away.
+func (s *Server) streamSSE(w http.ResponseWriter, r *http.Request, subscribe func(uint64) subscription) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		internalErr(w, errors.New("serve: streaming unsupported"))
 		return
 	}
 	var afterID uint64
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad Last-Event-ID %q", v))
+			badRequest(w, fmt.Errorf("serve: bad Last-Event-ID %q", v))
 			return
 		}
 		afterID = n
 	}
-	sub := j.subscribeSince(afterID)
+	sub := subscribe(afterID)
 	defer sub.cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -613,8 +717,25 @@ type metricsView struct {
 
 	Cache CacheStats `json:"cache"`
 
+	Sweeps sweepMetricsView `json:"sweeps"`
+
 	SimCycles       uint64  `json:"sim_cycles"`
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+// sweepMetricsView is the sweep-service slice of /metrics.json.
+type sweepMetricsView struct {
+	Submitted      int64 `json:"submitted"`
+	Coalesced      int64 `json:"coalesced"`
+	Throttled      int64 `json:"throttled"`
+	Active         int64 `json:"active"`
+	Done           int64 `json:"done"`
+	Failed         int64 `json:"failed"`
+	Canceled       int64 `json:"canceled"`
+	CellsExpanded  int64 `json:"cells_expanded"`
+	CellsDeduped   int64 `json:"cells_deduped"`
+	CellsCached    int64 `json:"cells_served_from_cache"`
+	CellsScheduled int64 `json:"cells_scheduled"`
 }
 
 // handleMetricsJSON renders the JSON metrics view — the same registry the
@@ -639,7 +760,20 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		CacheHits:   int64(s.tel.cacheHits.Value()),
 		CacheMisses: int64(s.tel.cacheMisses.Value()),
 		Cache:       s.cache.Stats(),
-		SimCycles:   s.meter.Cycles(),
+		Sweeps: sweepMetricsView{
+			Submitted:      int64(s.tel.sweepSubmissions.Value()),
+			Coalesced:      int64(s.tel.sweepsCoalesced.Value()),
+			Throttled:      int64(s.tel.sweepsThrottled.Value()),
+			Active:         s.tel.sweepsActive.Value(),
+			Done:           int64(s.tel.sweepsDone.Value()),
+			Failed:         int64(s.tel.sweepsFailed.Value()),
+			Canceled:       int64(s.tel.sweepsCanceled.Value()),
+			CellsExpanded:  int64(s.tel.sweepCellsExpanded.Value()),
+			CellsDeduped:   int64(s.tel.sweepCellsDeduped.Value()),
+			CellsCached:    int64(s.tel.sweepCellsCached.Value()),
+			CellsScheduled: int64(s.tel.sweepCellsScheduled.Value()),
+		},
+		SimCycles: s.meter.Cycles(),
 	}
 	if looked := m.CacheHits + m.CacheMisses; looked > 0 {
 		m.CacheHitRatio = float64(m.CacheHits) / float64(looked)
@@ -660,7 +794,7 @@ func (s *Server) dispatch() {
 		Busy: s.tel.poolBusy, CellSeconds: s.tel.cellSeconds,
 	}
 	for {
-		batch, ok := s.nextBatch()
+		batch, ok := s.fq.PopBatch(s.workers)
 		if !ok {
 			return
 		}
@@ -691,29 +825,6 @@ func (s *Server) dispatch() {
 			}
 		}
 	}
-}
-
-// nextBatch blocks for one queued job, then greedily drains up to a full
-// worker complement without blocking. Returns ok=false when the queue is
-// closed and empty.
-func (s *Server) nextBatch() ([]*Job, bool) {
-	j, ok := <-s.queue
-	if !ok {
-		return nil, false
-	}
-	batch := []*Job{j}
-	for len(batch) < s.workers {
-		select {
-		case j2, ok2 := <-s.queue:
-			if !ok2 {
-				return batch, true
-			}
-			batch = append(batch, j2)
-		default:
-			return batch, true
-		}
-	}
-	return batch, true
 }
 
 func (s *Server) setBatch(batch []*Job) {

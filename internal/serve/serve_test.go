@@ -315,9 +315,15 @@ func TestSubmitUnknownWorkload(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
 	}
-	var body errorBody
+	var body apiError
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
+	}
+	if body.Kind != ErrKindBadRequest {
+		t.Fatalf("error kind = %q, want %q", body.Kind, ErrKindBadRequest)
+	}
+	if body.Retryable {
+		t.Fatalf("bad-request error marked retryable: %+v", body)
 	}
 	if len(body.ValidWorkloads) == 0 {
 		t.Fatalf("error body does not list valid workloads: %+v", body)

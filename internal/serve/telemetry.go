@@ -52,6 +52,19 @@ const (
 	MetricUptime         = "laperm_uptime_seconds"
 	MetricDraining       = "laperm_draining"
 	MetricWorkers        = "laperm_workers"
+
+	MetricSweepSubmissions    = "laperm_sweeps_submitted_total"
+	MetricSweepsCoalesced     = "laperm_sweeps_coalesced_total"
+	MetricSweepsThrottled     = "laperm_sweeps_throttled_total"
+	MetricSweepsDone          = "laperm_sweeps_done_total"
+	MetricSweepsFailed        = "laperm_sweeps_failed_total"
+	MetricSweepsCanceled      = "laperm_sweeps_canceled_total"
+	MetricSweepsActive        = "laperm_sweeps_active"
+	MetricSweepCellsExpanded  = "laperm_sweep_cells_expanded_total"
+	MetricSweepCellsDeduped   = "laperm_sweep_cells_deduped_total"
+	MetricSweepCellsCached    = "laperm_sweep_cells_cached_total"
+	MetricSweepCellsScheduled = "laperm_sweep_cells_scheduled_total"
+	MetricFairQueueDepth      = "laperm_fair_queue_depth"
 )
 
 // serveMetrics is the server's instrumentation bundle: every handle the
@@ -83,6 +96,18 @@ type serveMetrics struct {
 
 	poolBusy    *telemetry.Gauge
 	cellSeconds *telemetry.Histogram
+
+	sweepSubmissions    *telemetry.Counter
+	sweepsCoalesced     *telemetry.Counter
+	sweepsThrottled     *telemetry.Counter
+	sweepsDone          *telemetry.Counter
+	sweepsFailed        *telemetry.Counter
+	sweepsCanceled      *telemetry.Counter
+	sweepsActive        *telemetry.Gauge
+	sweepCellsExpanded  *telemetry.Counter
+	sweepCellsDeduped   *telemetry.Counter
+	sweepCellsCached    *telemetry.Counter
+	sweepCellsScheduled *telemetry.Counter
 }
 
 // newServeMetrics registers the server's metric families on reg and wires
@@ -120,6 +145,22 @@ func (s *Server) newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 		poolBusy: reg.Gauge(MetricPoolBusy, "Worker-pool cells executing right now."),
 		cellSeconds: reg.Histogram(MetricCellSeconds,
 			"Per-cell wall-clock latency in seconds inside the worker pool.", telemetry.DefBuckets),
+
+		sweepSubmissions: reg.Counter(MetricSweepSubmissions, "SweepSpec submissions accepted for processing."),
+		sweepsCoalesced:  reg.Counter(MetricSweepsCoalesced, "Sweep submissions that attached to an already in-flight sweep."),
+		sweepsThrottled:  reg.Counter(MetricSweepsThrottled, "Sweep submissions rejected by the per-tenant rate limit."),
+		sweepsDone:       reg.Counter(MetricSweepsDone, "Sweeps that completed with every cell successful."),
+		sweepsFailed:     reg.Counter(MetricSweepsFailed, "Sweeps that reached the failed state."),
+		sweepsCanceled:   reg.Counter(MetricSweepsCanceled, "Sweeps canceled by their submitter."),
+		sweepsActive:     reg.Gauge(MetricSweepsActive, "Sweeps with cells still outstanding."),
+		sweepCellsExpanded: reg.Counter(MetricSweepCellsExpanded,
+			"Cells produced by server-side sweep expansion."),
+		sweepCellsDeduped: reg.Counter(MetricSweepCellsDeduped,
+			"Sweep cells that attached to work another request already owned (cross-request dedupe)."),
+		sweepCellsCached: reg.Counter(MetricSweepCellsCached,
+			"Sweep cells answered from a completed job or the disk cache without executing."),
+		sweepCellsScheduled: reg.Counter(MetricSweepCellsScheduled,
+			"Sweep cells scheduled as fresh executions."),
 	}
 
 	reg.GaugeFunc(MetricUptime, "Seconds since the server started.",
@@ -152,6 +193,25 @@ func (s *Server) newServeMetrics(reg *telemetry.Registry) *serveMetrics {
 		func() float64 { return float64(s.cache.Stats().Evictions) })
 	reg.CounterFunc(MetricCacheCorrupt, "Cache entries discarded after failing integrity verification.",
 		func() float64 { return float64(s.cache.Stats().Corruptions) })
+
+	// Fair-share queue depths, one gauge per tenant, synced per scrape.
+	// Tenants that drain to empty are zeroed (not dropped) so dashboards
+	// see the queue empty rather than a stale last value.
+	fairDepth := reg.GaugeVec(MetricFairQueueDepth,
+		"Jobs queued in the fair-share queue, by tenant.", "tenant")
+	seenTenants := make(map[string]bool)
+	reg.OnScrape(func() {
+		depths := s.fq.Depths()
+		for tenant := range seenTenants {
+			if _, ok := depths[tenant]; !ok {
+				fairDepth.With(tenant).Set(0)
+			}
+		}
+		for tenant, n := range depths {
+			seenTenants[tenant] = true
+			fairDepth.With(tenant).Set(int64(n))
+		}
+	})
 
 	// Fault-injection sites: one evals/hits counter pair per armed site,
 	// pre-created so every site is visible at zero, fed by the registry's
@@ -200,7 +260,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		f = s.flights.Get(id)
 	}
 	if f == nil || f.Len() == 0 {
-		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no trace recorded for run %q", id))
+		notFound(w, fmt.Errorf("serve: no trace recorded for run %q", id))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

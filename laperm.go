@@ -137,6 +137,14 @@ type (
 	// LaunchPath describes how a launch model routes device-side child
 	// launches (direct pool vs KMU, capacity, latency, overflow policy).
 	LaunchPath = gpu.LaunchPath
+	// SweepSpec is a versioned description of a parameter sweep: one base
+	// RunSpec plus axes whose cross product the lapermd service expands
+	// server-side (POST /v1/sweeps). Each expanded cell is an ordinary
+	// content-addressed RunSpec, so identical cells dedupe across sweeps.
+	SweepSpec = spec.SweepSpec
+	// SweepAxis is one axis of a SweepSpec: a RunSpec field name (see
+	// SweepAxisFields) and the values it ranges over.
+	SweepAxis = spec.SweepAxis
 )
 
 // CurrentSpecVersion is the RunSpec schema version this build writes and the
@@ -146,6 +154,14 @@ const CurrentSpecVersion = spec.CurrentVersion
 // ParseRunSpec decodes a RunSpec from JSON, rejecting unknown fields. The
 // result is not yet validated; call Validate (or Build) next.
 func ParseRunSpec(data []byte) (RunSpec, error) { return spec.Parse(data) }
+
+// ParseSweepSpec decodes a SweepSpec from JSON, rejecting unknown fields.
+// The result is not yet validated; call Validate (or Expand) next.
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return spec.ParseSweep(data) }
+
+// SweepAxisFields lists the RunSpec fields a sweep axis may range over, in
+// the order they appear in the canonical form.
+func SweepAxisFields() []string { return spec.AxisFields() }
 
 // Cache-hit reuse classes.
 const (

@@ -80,3 +80,36 @@ func TestReadmeTablesMatchRegistries(t *testing.T) {
 		}
 	}
 }
+
+// TestReadmeSweepSectionMatchesSpec pins the sweep documentation the same
+// way: the "Running sweeps against the service" section must exist and
+// enumerate every axis field the spec package actually accepts, so adding
+// a sweepable RunSpec field without documenting it fails the build.
+func TestReadmeSweepSectionMatchesSpec(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readme := string(raw)
+
+	const heading = "## Running sweeps against the service"
+	start := strings.Index(readme, heading)
+	if start < 0 {
+		t.Fatalf("README.md has no %q section", heading)
+	}
+	section := readme[start:]
+	if end := strings.Index(section[len(heading):], "\n## "); end >= 0 {
+		section = section[:len(heading)+end]
+	}
+
+	for _, field := range laperm.SweepAxisFields() {
+		if !strings.Contains(section, "`"+field+"`") {
+			t.Errorf("sweep section does not document axis field `%s`", field)
+		}
+	}
+	for _, must := range []string{"/v1/sweeps", "Last-Event-ID", "cells.csv", "`retryable`"} {
+		if !strings.Contains(section, must) {
+			t.Errorf("sweep section does not mention %s", must)
+		}
+	}
+}
